@@ -1,0 +1,680 @@
+package repro_test
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Speedups, overheads, and affinities are attached to each
+// benchmark as custom metrics, so `go test -bench=. -benchmem` regenerates
+// the whole evaluation in one run.
+//
+// Benchmarks run at test scale by default so the full sweep stays
+// tractable; set STRUCTSLIM_BENCH_SCALE=bench for the paper-sized runs.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/stride"
+	"repro/internal/tables"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func benchScale() workloads.Scale {
+	if os.Getenv("STRUCTSLIM_BENCH_SCALE") == "bench" {
+		return workloads.ScaleBench
+	}
+	return workloads.ScaleTest
+}
+
+func benchOpt() tables.Options {
+	return tables.Options{Scale: benchScale(), SamplePeriod: 3000, Seed: 7}
+}
+
+// --- Tables -----------------------------------------------------------------
+
+func BenchmarkTable2Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables.WriteTable2(io.Discard)
+	}
+}
+
+// benchmarkTable3 runs the full Table 3/4 pipeline for one workload and
+// reports its speedup, overhead, and L1/L2 miss reductions as metrics.
+func benchmarkTable3(b *testing.B, name string) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r *tables.BenchResult
+	for i := 0; i < b.N; i++ {
+		r, err = tables.RunBenchmark(w, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Speedup, "speedup")
+	b.ReportMetric(r.OverheadPct, "overhead%")
+	b.ReportMetric(r.MissReduction("L1"), "L1redux%")
+	b.ReportMetric(r.MissReduction("L2"), "L2redux%")
+	b.ReportMetric(r.MissReduction("L3"), "L3redux%")
+}
+
+func BenchmarkTable3ART(b *testing.B)        { benchmarkTable3(b, "art") }
+func BenchmarkTable3Libquantum(b *testing.B) { benchmarkTable3(b, "libquantum") }
+func BenchmarkTable3TSP(b *testing.B)        { benchmarkTable3(b, "tsp") }
+func BenchmarkTable3MSER(b *testing.B)       { benchmarkTable3(b, "mser") }
+func BenchmarkTable3CLOMP(b *testing.B)      { benchmarkTable3(b, "clomp") }
+func BenchmarkTable3Health(b *testing.B)     { benchmarkTable3(b, "health") }
+func BenchmarkTable3NN(b *testing.B)         { benchmarkTable3(b, "nn") }
+
+// Table 4 shares Table 3's runs; its dedicated target reports the miss
+// reductions of the full set in one pass.
+func BenchmarkTable4CacheMissReductions(b *testing.B) {
+	var results []*tables.BenchResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = tables.RunPaperBenchmarks(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var l1, l2 float64
+	for _, r := range results {
+		l1 += r.MissReduction("L1")
+		l2 += r.MissReduction("L2")
+	}
+	b.ReportMetric(l1/float64(len(results)), "avgL1redux%")
+	b.ReportMetric(l2/float64(len(results)), "avgL2redux%")
+}
+
+func BenchmarkTable5ARTFields(b *testing.B) {
+	var pShare float64
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.AnalyzeART(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range sr.Fields {
+			if f.Name == "P" {
+				pShare = 100 * f.Share
+			}
+		}
+	}
+	b.ReportMetric(pShare, "P-share%")
+}
+
+func BenchmarkTable6ARTLoops(b *testing.B) {
+	var hotShare float64
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.AnalyzeART(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lr := range sr.Loops {
+			if lr.Loop != nil {
+				hotShare = 100 * lr.Share
+				break
+			}
+		}
+	}
+	b.ReportMetric(hotShare, "hottest-loop%")
+}
+
+// --- Figures ----------------------------------------------------------------
+
+func benchmarkSuiteOverhead(b *testing.B, suite string) {
+	var points []tables.OverheadPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = tables.SuiteOverheads(suite, benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, pt := range points {
+		sum += pt.OverheadPct
+	}
+	b.ReportMetric(sum/float64(len(points)), "avg-overhead%")
+}
+
+func BenchmarkFigure4RodiniaOverhead(b *testing.B) {
+	benchmarkSuiteOverhead(b, workloads.RodiniaSuite)
+}
+
+func BenchmarkFigure5SpecOverhead(b *testing.B) {
+	benchmarkSuiteOverhead(b, workloads.SpecSuite)
+}
+
+func BenchmarkFigure6ARTAffinityGraph(b *testing.B) {
+	var aIU float64
+	for i := 0; i < b.N; i++ {
+		sr, err := tables.AnalyzeART(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr.WriteDot(io.Discard)
+		offOf := map[string]uint64{}
+		for _, f := range sr.Fields {
+			offOf[f.Name] = f.Offset
+		}
+		aIU = sr.Affinity.Affinity(offOf["I"], offOf["U"])
+	}
+	b.ReportMetric(aIU, "A(I,U)")
+}
+
+func benchmarkSplitFigure(b *testing.B, fig int) {
+	for i := 0; i < b.N; i++ {
+		if err := tables.SplitFigure(io.Discard, tables.FigureNumberFor[fig], benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7ARTSplit(b *testing.B)        { benchmarkSplitFigure(b, 7) }
+func BenchmarkFigure8LibquantumSplit(b *testing.B) { benchmarkSplitFigure(b, 8) }
+func BenchmarkFigure9TSPSplit(b *testing.B)        { benchmarkSplitFigure(b, 9) }
+func BenchmarkFigure10MSERSplit(b *testing.B)      { benchmarkSplitFigure(b, 10) }
+func BenchmarkFigure11CLOMPSplit(b *testing.B)     { benchmarkSplitFigure(b, 11) }
+func BenchmarkFigure12HealthSplit(b *testing.B)    { benchmarkSplitFigure(b, 12) }
+func BenchmarkFigure13NNSplit(b *testing.B)        { benchmarkSplitFigure(b, 13) }
+
+func BenchmarkEquation4Accuracy(b *testing.B) {
+	var rows []tables.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		rows = tables.AccuracyExperiment(10000, 1000, 3)
+	}
+	for _, r := range rows {
+		if r.K == 10 {
+			b.ReportMetric(r.Simulated, "accuracy@k=10")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------------
+
+// BenchmarkAblationGCDAdjacentVsPairwise compares the paper's
+// adjacent-difference GCD against an all-pairs variant: same answer on
+// constant-stride streams, quadratically more work.
+func BenchmarkAblationGCDAdjacentVsPairwise(b *testing.B) {
+	addrs := make([]uint64, 256)
+	for i := range addrs {
+		addrs[i] = uint64(i*3) * 56
+	}
+	pairwise := func(a []uint64) uint64 {
+		var g uint64
+		for i := 0; i < len(a); i++ {
+			for j := i + 1; j < len(a); j++ {
+				d := a[j] - a[i]
+				if a[i] > a[j] {
+					d = a[i] - a[j]
+				}
+				g = profile.GCD64(g, d)
+			}
+		}
+		return g
+	}
+	b.Run("adjacent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if stride.OfAddresses(addrs) != 56*3 {
+				b.Fatal("wrong stride")
+			}
+		}
+	})
+	b.Run("pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pairwise(addrs) != 56*3 {
+				b.Fatal("wrong stride")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAffinityWeight contrasts latency-weighted affinity
+// (the paper's Equation 7) with count-weighted affinity (Chilimbi-style,
+// core.Options.WeightByCount) on ART's profile: the metric of interest is
+// A(P,U), which the paper argues must stay low even though P and U
+// co-occur in two loops.
+func BenchmarkAblationAffinityWeight(b *testing.B) {
+	w, err := workloads.Get("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var latencyPU, countPU float64
+	for i := 0; i < b.N; i++ {
+		res, err := structslim.ProfileRun(p, phases, structslim.Options{SamplePeriod: 3000, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		measure := func(byCount bool) float64 {
+			rep, err := core.Analyze(res.Profile, p, core.Options{WeightByCount: byCount})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sr := structslim.FindStruct(rep, "f1_neuron")
+			if sr == nil {
+				b.Fatal("f1_neuron not analyzed")
+			}
+			offOf := map[string]uint64{}
+			for _, f := range sr.Fields {
+				offOf[f.Name] = f.Offset
+			}
+			return sr.Affinity.Affinity(offOf["P"], offOf["U"])
+		}
+		latencyPU = measure(false)
+		countPU = measure(true)
+	}
+	b.ReportMetric(latencyPU, "A(P,U)-latency")
+	b.ReportMetric(countPU, "A(P,U)-count")
+}
+
+// BenchmarkAblationPeriod sweeps the sampling period on ART and reports
+// the overhead at each setting, the paper's key overhead/visibility
+// trade-off.
+func BenchmarkAblationPeriod(b *testing.B) {
+	w, _ := workloads.Get("art")
+	for _, period := range []uint64{1000, 10_000, 100_000} {
+		period := period
+		b.Run(formatPeriod(period), func(b *testing.B) {
+			var overhead float64
+			var samples uint64
+			for i := 0; i < b.N; i++ {
+				p, phases, err := w.Build(nil, benchScale())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := structslim.ProfileRun(p, phases, structslim.Options{SamplePeriod: period, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = res.Stats.OverheadPct()
+				samples = res.Profile.NumSamples
+			}
+			b.ReportMetric(overhead, "overhead%")
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
+
+func formatPeriod(p uint64) string {
+	if p >= 1000 && p%1000 == 0 {
+		return "period-" + itoa(int(p/1000)) + "k"
+	}
+	return "period-" + itoa(int(p))
+}
+
+// BenchmarkAblationPrefetcher measures how much of the split's win the
+// hardware prefetcher already covers, by running NN's original and split
+// layouts with the prefetcher on and off.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	w, _ := workloads.Get("nn")
+	run := func(b *testing.B, prefetch bool) float64 {
+		cfg := cache.DefaultConfig()
+		cfg.Prefetch = prefetch
+		opt := structslim.Options{SamplePeriod: 3000, Seed: 7, Cache: &cfg}
+		// Advice from a quick profiled run.
+		p, phases, err := w.Build(nil, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, rep, err := structslim.ProfileAndAnalyze(p, phases, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr := structslim.FindStruct(rep, "neighbor")
+		layout, err := structslim.Optimize(w.Record(), sr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measure := func(l interface{}) uint64 {
+			var st uint64
+			pp, ph, err := w.Build(nil, benchScale())
+			if l != nil {
+				pp, ph, err = w.Build(layout, benchScale())
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := structslim.Run(pp, ph, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = s.AppWallCycles
+			return st
+		}
+		return float64(measure(nil)) / float64(measure(layout))
+	}
+	b.Run("prefetch-on", func(b *testing.B) {
+		var speedup float64
+		for i := 0; i < b.N; i++ {
+			speedup = run(b, true)
+		}
+		b.ReportMetric(speedup, "speedup")
+	})
+	b.Run("prefetch-off", func(b *testing.B) {
+		var speedup float64
+		for i := 0; i < b.N; i++ {
+			speedup = run(b, false)
+		}
+		b.ReportMetric(speedup, "speedup")
+	})
+}
+
+// BenchmarkAblationTLB measures how much a data-TLB model adds to the
+// split's win on ART: the AoS layout walks ~8× the pages per useful
+// field, so enabling the TLB widens the gap.
+func BenchmarkAblationTLB(b *testing.B) {
+	w, _ := workloads.Get("art")
+	speedupWith := func(b *testing.B, tlb bool) float64 {
+		cfg := cache.DefaultConfig()
+		if tlb {
+			cfg.TLB = cache.DefaultTLBConfig()
+		}
+		opt := structslim.Options{SamplePeriod: 3000, Seed: 7, Cache: &cfg}
+		p, phases, err := w.Build(nil, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, rep, err := structslim.ProfileAndAnalyze(p, phases, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr := structslim.FindStruct(rep, "f1_neuron")
+		layout, err := structslim.Optimize(w.Record(), sr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(split bool) uint64 {
+			var l *prog.PhysLayout
+			if split {
+				l = layout
+			}
+			pp, ph, err := w.Build(l, benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := structslim.Run(pp, ph, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return st.AppWallCycles
+		}
+		return float64(run(false)) / float64(run(true))
+	}
+	b.Run("tlb-off", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s = speedupWith(b, false)
+		}
+		b.ReportMetric(s, "speedup")
+	})
+	b.Run("tlb-on", func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s = speedupWith(b, true)
+		}
+		b.ReportMetric(s, "speedup")
+	})
+}
+
+// BenchmarkIBSvsPEBS contrasts the two modeled sampling facilities on the
+// same workload: sample yield per period and resulting overhead.
+func BenchmarkIBSvsPEBS(b *testing.B) {
+	w, _ := workloads.Get("art")
+	run := func(b *testing.B, ibs bool) (samples uint64, overhead float64) {
+		p, phases, err := w.Build(nil, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := structslim.ProfileRun(p, phases, structslim.Options{
+			SamplePeriod: 10_000, Seed: 7, IBS: ibs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Profile.NumSamples, res.Stats.OverheadPct()
+	}
+	b.Run("pebs-ll", func(b *testing.B) {
+		var s uint64
+		var o float64
+		for i := 0; i < b.N; i++ {
+			s, o = run(b, false)
+		}
+		b.ReportMetric(float64(s), "samples")
+		b.ReportMetric(o, "overhead%")
+	})
+	b.Run("ibs", func(b *testing.B) {
+		var s uint64
+		var o float64
+		for i := 0; i < b.N; i++ {
+			s, o = run(b, true)
+		}
+		b.ReportMetric(float64(s), "samples")
+		b.ReportMetric(o, "overhead%")
+	})
+}
+
+// BenchmarkAblationReorderVsSplit quantifies splitting against the
+// cheaper classic alternative, field reordering, on a 128-byte record
+// whose hot loop reads fields at opposite ends (see
+// structslim/reorder_test.go for the kernel).
+func BenchmarkAblationReorderVsSplit(b *testing.B) {
+	fields := make([]prog.Field, 16)
+	names := make([]string, 16)
+	for i := range fields {
+		names[i] = string(rune('a' + i))
+		fields[i] = prog.Field{Name: names[i], Size: 8}
+	}
+	rec := prog.MustRecord("wide", fields...)
+	build := func(l *prog.PhysLayout) *prog.Program {
+		bb := prog.NewBuilder("wide")
+		tids := bb.RegisterLayout(l)
+		arrG := make([]int, l.NumArrays())
+		for ai := range arrG {
+			arrG[ai] = bb.Global("arr."+l.Structs[ai].Name, 16384*int64(l.Structs[ai].Size), tids[ai])
+		}
+		bb.Func("main", "w.c")
+		regs := make([]isa.Reg, l.NumArrays())
+		for ai := range regs {
+			regs[ai] = bb.R()
+			bb.GAddr(regs[ai], arrG[ai])
+		}
+		i, x, y, rep := bb.R(), bb.R(), bb.R(), bb.R()
+		bb.ForRange(i, 0, 16384, 1, func() {
+			for f := 0; f < 16; f++ {
+				bb.StoreField(i, l, regs, i, names[f])
+			}
+		})
+		bb.ForRange(rep, 0, 8, 1, func() {
+			bb.ForRange(i, 0, 16384, 1, func() {
+				bb.LoadField(x, l, regs, i, names[0])
+				bb.LoadField(y, l, regs, i, names[15])
+				bb.Add(x, x, y)
+			})
+		})
+		bb.Halt()
+		return bb.MustProgram()
+	}
+	cycles := func(l *prog.PhysLayout) uint64 {
+		st, err := structslim.Run(build(l), nil, structslim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st.AppWallCycles
+	}
+	var reorderX, splitX float64
+	for i := 0; i < b.N; i++ {
+		base := cycles(prog.AoS(rec))
+		order := append([]string{names[0], names[15]}, names[1:15]...)
+		reordered, err := prog.Reordered(rec, order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, err := prog.Split(rec, [][]string{{names[0], names[15]}, order[2:]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reorderX = float64(base) / float64(cycles(reordered))
+		splitX = float64(base) / float64(cycles(split))
+	}
+	b.ReportMetric(reorderX, "reorder-x")
+	b.ReportMetric(splitX, "split-x")
+}
+
+// BenchmarkBaselines regenerates the paper's motivating overhead
+// contrast: sampling vs frequency-counting vs reuse-distance
+// instrumentation, plus the sampled analysis's accuracy against exact
+// ground truth.
+func BenchmarkBaselines(b *testing.B) {
+	var rows []tables.BaselineRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = tables.BaselineComparison("art", benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Slowdown, "sampling-x")
+	b.ReportMetric(rows[1].Slowdown, "counting-x")
+	b.ReportMetric(rows[2].Slowdown, "reuse-x")
+	b.ReportMetric(rows[0].MaxShareError, "share-err")
+}
+
+// BenchmarkRobustness sweeps the sampling period on ART and reports the
+// densest and sparsest settings' overheads.
+func BenchmarkRobustness(b *testing.B) {
+	var rows []tables.RobustnessRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = tables.PeriodRobustness("art",
+			[]uint64{1000, 10_000, 100_000}, "P", "P", benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ok := 0
+	for _, r := range rows {
+		if r.AdviceOK {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok), "periods-with-correct-advice")
+	b.ReportMetric(rows[0].OverheadPct, "overhead%@1k")
+	b.ReportMetric(rows[len(rows)-1].OverheadPct, "overhead%@100k")
+}
+
+// BenchmarkMergeReduction compares the reduction-tree profile merge with
+// a sequential merge at increasing thread counts.
+func BenchmarkMergeReduction(b *testing.B) {
+	mkProfiles := func(n int) []*profile.ThreadProfile {
+		tps := make([]*profile.ThreadProfile, n)
+		for t := 0; t < n; t++ {
+			tp := profile.NewThreadProfile(t, 10000)
+			for k := 0; k < 3000; k++ {
+				tp.Add(profile.Sample{
+					TID: int32(t), IP: uint64(0x400000 + (k%64)*4),
+					EA:      uint64(0x10000000 + t*1<<20 + k*24),
+					Latency: uint32(10 + k%40), Cycle: uint64(k * 100),
+				}, uint64(1+k%8))
+			}
+			tps[t] = tp
+		}
+		return tps
+	}
+	for _, n := range []int{4, 16, 64} {
+		tps := mkProfiles(n)
+		b.Run("sequential-"+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.MergeThreadProfiles(tps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("tree-"+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.ReduceThreadProfiles(tps, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Microbenchmarks of the substrate ----------------------------------------
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	h, err := cache.NewHierarchy(cache.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Access(0, 1, 0x1000, 8, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 1, 0x1000, 8, false)
+	}
+}
+
+func BenchmarkCacheAccessStream(b *testing.B) {
+	h, err := cache.NewHierarchy(cache.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 1, uint64(i*64), 8, false)
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	w, _ := workloads.Get("hotspot")
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := structslim.Run(p, phases, structslim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = st.Instrs
+	}
+	b.ReportMetric(float64(instrs), "instrs/run")
+}
+
+func BenchmarkGCDStride(b *testing.B) {
+	addrs := make([]uint64, 64)
+	for i := range addrs {
+		addrs[i] = uint64(i*7) * 24
+	}
+	for i := 0; i < b.N; i++ {
+		if stride.OfAddresses(addrs) == 0 {
+			b.Fatal("no stride")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Tables 2–6, Figures 4–13, and the Equation 4 accuracy study) against
+// the simulated machine, printing measured values next to the published
+// ones.
+//
+// Usage:
+//
+//	experiments -all [-scale bench]
+//	experiments -table 3
+//	experiments -figure 6
+//	experiments -accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table    = flag.Int("table", 0, "regenerate one table (1-6)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (4-13)")
+		accuracy = flag.Bool("accuracy", false, "run the Equation 4 accuracy study")
+		robust   = flag.Bool("robustness", false, "run the sampling-period robustness sweep on ART")
+		baseline = flag.Bool("baselines", false, "compare sampling against instrumentation baselines on ART")
+		cases    = flag.Bool("casestudies", false, "run the beyond-paper case studies (mcf, streamcluster)")
+		scale    = flag.String("scale", "test", "problem scale: test or bench")
+		period   = flag.Uint64("period", 10_000, "address-sampling period")
+		seed     = flag.Uint64("seed", 1, "sampling randomization seed")
+	)
+	flag.Parse()
+
+	sc := workloads.ScaleTest
+	if *scale == "bench" {
+		sc = workloads.ScaleBench
+	}
+	opt := tables.Options{Scale: sc, SamplePeriod: *period, Seed: *seed}
+	out := os.Stdout
+
+	// The Table 3/4 runs are shared.
+	var results []*tables.BenchResult
+	needBench := *all || *table == 3 || *table == 4
+	if needBench {
+		var err error
+		results, err = tables.RunPaperBenchmarks(opt)
+		fail(err)
+	}
+	needART := *all || *table == 5 || *table == 6 || *figure == 6
+
+	if *all || *table == 1 {
+		tables.WriteTable1(out)
+		fmt.Fprintln(out)
+	}
+	if *all || *table == 2 {
+		tables.WriteTable2(out)
+		fmt.Fprintln(out)
+	}
+	if *all || *table == 3 {
+		tables.WriteTable3(out, results)
+		fmt.Fprintln(out)
+	}
+	if *all || *table == 4 {
+		tables.WriteTable4(out, results)
+		fmt.Fprintln(out)
+	}
+	if needART {
+		sr, err := tables.AnalyzeART(opt)
+		fail(err)
+		if *all || *table == 5 {
+			tables.WriteTable5(out, sr)
+			fmt.Fprintln(out)
+		}
+		if *all || *table == 6 {
+			tables.WriteTable6(out, sr)
+			fmt.Fprintln(out)
+		}
+		if *all || *figure == 6 {
+			fmt.Fprintln(out, "Figure 6: f1_neuron affinity graph (dot)")
+			tables.WriteFigure6(out, sr)
+			fmt.Fprintln(out)
+		}
+	}
+	if *all || *figure == 4 {
+		points, err := tables.SuiteOverheads(workloads.RodiniaSuite, opt)
+		fail(err)
+		tables.WriteOverheadFigure(out, "Figure 4: Rodinia", points, tables.PaperRodiniaAvgOverheadPct)
+		fmt.Fprintln(out)
+	}
+	if *all || *figure == 5 {
+		points, err := tables.SuiteOverheads(workloads.SpecSuite, opt)
+		fail(err)
+		tables.WriteOverheadFigure(out, "Figure 5: SPEC CPU 2006", points, tables.PaperSpecAvgOverheadPct)
+		fmt.Fprintln(out)
+	}
+	for fig := 7; fig <= 13; fig++ {
+		if *all || *figure == fig {
+			fmt.Fprintf(out, "Figure %d: ", fig)
+			fail(tables.SplitFigure(out, tables.FigureNumberFor[fig], opt))
+			fmt.Fprintln(out)
+		}
+	}
+	if *all || *accuracy {
+		rows := tables.AccuracyExperiment(10000, 2000, *seed)
+		tables.WriteAccuracy(out, rows)
+		fmt.Fprintln(out)
+	}
+	if *all || *robust {
+		rows, err := tables.PeriodRobustness("art",
+			[]uint64{1000, 3000, 10_000, 30_000, 100_000}, "P", "P", opt)
+		fail(err)
+		tables.WriteRobustness(out, "art", rows)
+		fmt.Fprintln(out)
+	}
+	if *all || *baseline {
+		rows, err := tables.BaselineComparison("art", opt)
+		fail(err)
+		tables.WriteBaselines(out, "art", rows)
+		fmt.Fprintln(out)
+	}
+	if *all || *cases {
+		fail(tables.CaseStudies(out, opt))
+	}
+
+	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*baseline && !*cases {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -figure N, or -accuracy")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "StructSlim: A
+// Lightweight Profiler to Guide Structure Splitting" (Probir Roy and Xu
+// Liu, CGO 2016).
+//
+// The public API lives in package repro/structslim; the simulated
+// machine, the profiler, the analyzer, and the paper's benchmarks live
+// under internal/. The root package exists to carry module documentation
+// and the benchmark harness (bench_test.go), which regenerates every
+// table and figure of the paper's evaluation. See README.md, DESIGN.md,
+// and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,123 @@
+// Custom workload: profiling your own kernel with the builder DSL.
+//
+// This example shows the library as a downstream user would adopt it for
+// a program the paper never saw: a particle simulation over an array of
+// struct {x, y, z, vx, vy, vz, mass, charge}. The integration loop reads
+// positions and velocities; a rare diagnostics loop reads mass and
+// charge. StructSlim should advise keeping {x,y,z,vx,vy,vz} hot and
+// moving {mass, charge} out of the way.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/structslim"
+)
+
+const (
+	numParticles = 24000
+	numSteps     = 8
+)
+
+func buildSim(l *prog.PhysLayout) *prog.Program {
+	b := prog.NewBuilder("particles")
+	tids := b.RegisterLayout(l)
+	arrG := make([]int, l.NumArrays())
+	for ai := range arrG {
+		arrG[ai] = b.Global("particles."+l.Structs[ai].Name, numParticles*int64(l.Structs[ai].Size), tids[ai])
+	}
+
+	b.Func("main", "sim.c")
+	bases := make([]isa.Reg, l.NumArrays())
+	for ai := range bases {
+		bases[ai] = b.R()
+		b.GAddr(bases[ai], arrG[ai])
+	}
+
+	// Initialization: write every field once.
+	i, v := b.R(), b.R()
+	b.AtLine(10)
+	b.ForRange(i, 0, numParticles, 1, func() {
+		b.CvtIF(v, i)
+		for _, f := range l.Record.Fields {
+			b.StoreField(v, l, bases, i, f.Name)
+		}
+	})
+
+	// Integration: positions += velocities, every step (the hot loop).
+	step, p, vel := b.R(), b.R(), b.R()
+	b.AtLine(40)
+	b.ForRange(step, 0, numSteps, 1, func() {
+		b.AtLine(40)
+		b.ForRange(i, 0, numParticles, 1, func() {
+			b.AtLine(42)
+			for _, axis := range []string{"x", "y", "z"} {
+				b.LoadField(p, l, bases, i, axis)
+				b.LoadField(vel, l, bases, i, "v"+axis)
+				b.FAdd(p, p, vel)
+				b.StoreField(p, l, bases, i, axis)
+			}
+		})
+	})
+
+	// Diagnostics: total charge-to-mass ratio, once.
+	sum := b.R()
+	b.MovI(sum, 0)
+	b.AtLine(70)
+	b.ForRange(i, 0, numParticles, 1, func() {
+		b.AtLine(71)
+		b.LoadField(p, l, bases, i, "mass")
+		b.LoadField(vel, l, bases, i, "charge")
+		b.FDiv(p, vel, p)
+		b.FAdd(sum, sum, p)
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func main() {
+	record := prog.MustRecord("particle",
+		prog.Field{Name: "x", Size: 8, Float: true},
+		prog.Field{Name: "y", Size: 8, Float: true},
+		prog.Field{Name: "z", Size: 8, Float: true},
+		prog.Field{Name: "vx", Size: 8, Float: true},
+		prog.Field{Name: "vy", Size: 8, Float: true},
+		prog.Field{Name: "vz", Size: 8, Float: true},
+		prog.Field{Name: "mass", Size: 8, Float: true},
+		prog.Field{Name: "charge", Size: 8, Float: true},
+	)
+	opts := structslim.Options{SamplePeriod: 2_000, Seed: 3}
+
+	_, rep, err := structslim.ProfileAndAnalyze(buildSim(prog.AoS(record)), nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.RenderText(os.Stdout)
+
+	hot := structslim.FindStruct(rep, "particle")
+	if hot == nil {
+		log.Fatal("particle array not identified")
+	}
+	layout, err := structslim.Optimize(record, hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := structslim.Run(buildSim(prog.AoS(record)), nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	improved, err := structslim.Run(buildSim(layout), nil, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Advised layout: %v\n", layout)
+	fmt.Printf("Speedup: %.2fx (%d → %d cycles)\n",
+		float64(base.AppWallCycles)/float64(improved.AppWallCycles),
+		base.AppWallCycles, improved.AppWallCycles)
+}

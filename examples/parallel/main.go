@@ -1,0 +1,96 @@
+// Parallel profiling: CLOMP at four threads (Section 6.5).
+//
+// Shows the scalable side of StructSlim: each thread samples and analyzes
+// its own accesses without synchronization, profiles are written one file
+// per thread (as the real profiler does), loaded back, merged with the
+// parallel reduction tree, and analyzed as one program — recovering the
+// paper's {value, nextZone} | {zoneId, partId} split of the Zone struct.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func main() {
+	w, err := workloads.Get("clomp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := structslim.Options{SamplePeriod: 3_000, Seed: 1}
+
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := structslim.ProfileRun(p, phases, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-thread profiles, one file each — then read back and merged via
+	// the reduction tree, exactly like the offline analyzer.
+	dir, err := os.MkdirTemp("", "structslim-profiles-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := profile.WriteDir(dir, res.ThreadProfiles); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := profile.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wrote and re-read %d per-thread profiles:\n", len(loaded))
+	for _, tp := range loaded {
+		fmt.Printf("  thread %d: %6d samples, %10d memory accesses, overhead %.2f%%\n",
+			tp.TID, tp.NumSamples, tp.MemOps,
+			100*float64(tp.OverheadCycles)/float64(tp.AppCycles))
+	}
+	merged, err := profile.ReduceThreadProfiles(loaded, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Merged: %d samples across %d threads\n\n", merged.NumSamples, merged.Threads)
+
+	rep, err := structslim.Analyze(&structslim.RunResult{Stats: res.Stats, Profile: merged}, p, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.RenderText(os.Stdout)
+
+	// And the payoff.
+	sr := structslim.FindStruct(rep, "_Zone")
+	if sr == nil {
+		log.Fatal("_Zone not identified")
+	}
+	layout, err := structslim.Optimize(w.Record(), sr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := mustRun(w, nil, opts)
+	improved := mustRun(w, layout, opts)
+	fmt.Printf("4-thread speedup after splitting: %.2fx (paper: 1.25x)\n",
+		float64(base)/float64(improved))
+}
+
+func mustRun(w workloads.Workload, l *prog.PhysLayout, opts structslim.Options) uint64 {
+	p, phases, err := w.Build(l, workloads.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := structslim.Run(p, phases, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.AppWallCycles
+}

@@ -1,0 +1,202 @@
+// Package cache simulates a multi-level set-associative cache hierarchy.
+//
+// It supplies the two hardware signals StructSlim consumes: the load
+// latency of each memory access (what PEBS-LL reports per sample) and
+// per-level hit/miss counters (what event counters report, used by the
+// paper's Table 4). The default configuration models the paper's
+// evaluation machine, an Intel Xeon E5-4650L: 32 KB 8-way private L1D,
+// 256 KB 8-way private L2, 20 MB 16-way shared L3, 64-byte lines.
+//
+// Coherence between the private per-core levels uses a MESI-style
+// write-invalidate protocol backed by a line directory, so parallel
+// workloads that share arrays (e.g. CLOMP's zones) pay realistic
+// invalidation traffic. Private levels are kept inclusive of the levels
+// above them, and the shared last level is inclusive of everything, with
+// back-invalidation on eviction.
+//
+// A per-PC stride prefetcher (modeled on hardware stream prefetchers) can
+// be enabled; it recognizes constant-stride streams and fills the L2
+// ahead of the demand stream, which narrows — but does not close — the
+// gap between unit-stride and large-stride loops, as on real hardware.
+package cache
+
+import "fmt"
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name    string
+	Size    int  // bytes, power of two
+	Assoc   int  // ways
+	Latency int  // cycles for a hit at this level
+	Shared  bool // one instance for all cores vs. one per core
+}
+
+// Config describes the whole hierarchy.
+type Config struct {
+	LineSize   int // bytes, power of two
+	Levels     []LevelConfig
+	MemLatency int // cycles for a miss in every level
+
+	// Prefetch enables the per-PC stride prefetcher.
+	Prefetch bool
+	// PrefetchDegree is how many strides ahead the prefetcher runs.
+	PrefetchDegree int
+
+	// TLB optionally models a per-core data TLB (Entries == 0 disables
+	// it, the default, matching the paper's cache-only accounting).
+	TLB TLBConfig
+}
+
+// DefaultConfig models the paper's Xeon E5-4650L evaluation machine.
+func DefaultConfig() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 32 << 10, Assoc: 8, Latency: 4, Shared: false},
+			{Name: "L2", Size: 256 << 10, Assoc: 8, Latency: 12, Shared: false},
+			{Name: "L3", Size: 20 << 20, Assoc: 16, Latency: 40, Shared: true},
+		},
+		MemLatency:     200,
+		Prefetch:       true,
+		PrefetchDegree: 2,
+	}
+}
+
+// Validate checks the configuration for the power-of-two and ordering
+// invariants the implementation relies on.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("line size %d not a power of two", c.LineSize)
+	}
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("no cache levels")
+	}
+	for i, l := range c.Levels {
+		if l.Size <= 0 || l.Assoc <= 0 {
+			return fmt.Errorf("level %s: bad size/assoc", l.Name)
+		}
+		sets := l.Size / (c.LineSize * l.Assoc)
+		if sets <= 0 {
+			return fmt.Errorf("level %s: set count %d", l.Name, sets)
+		}
+		if i > 0 && l.Size < c.Levels[i-1].Size {
+			return fmt.Errorf("level %s smaller than previous level", l.Name)
+		}
+		if i > 0 && !l.Shared && c.Levels[i-1].Shared {
+			return fmt.Errorf("level %s: private level below a shared level is not supported", l.Name)
+		}
+	}
+	if c.MemLatency <= 0 {
+		return fmt.Errorf("memory latency must be positive")
+	}
+	return nil
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Latency uint32
+	// Level that served the access: 1-based cache level, or
+	// len(Levels)+1 for main memory.
+	Level uint8
+}
+
+// MemLevel returns the Result.Level value that denotes main memory for
+// this configuration.
+func (c Config) MemLevel() uint8 { return uint8(len(c.Levels)) + 1 }
+
+type line struct {
+	tag    uint64 // line address (addr >> lineShift)
+	valid  bool
+	dirty  bool
+	shared bool // MESI: some other core may hold this line too
+	lru    uint64
+}
+
+type level struct {
+	cfg      LevelConfig
+	sets     [][]line
+	nsets    uint64
+	setMask  uint64 // nsets-1 when nsets is a power of two, else 0
+	lruClock uint64
+
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+func newLevel(cfg LevelConfig, lineSize int) *level {
+	nsets := cfg.Size / (lineSize * cfg.Assoc)
+	l := &level{cfg: cfg, nsets: uint64(nsets)}
+	if nsets&(nsets-1) == 0 {
+		l.setMask = uint64(nsets - 1)
+	}
+	l.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range l.sets {
+		l.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return l
+}
+
+// setOf maps a line tag to its set index; masks when the set count is a
+// power of two (the common, fast case), modulo otherwise (sliced LLCs).
+func (l *level) setOf(tag uint64) uint64 {
+	if l.setMask != 0 || l.nsets == 1 {
+		return tag & l.setMask
+	}
+	return tag % l.nsets
+}
+
+// lookup returns the way holding the tag, or nil.
+func (l *level) lookup(tag uint64) *line {
+	set := l.sets[l.setOf(tag)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l.lruClock++
+			set[i].lru = l.lruClock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// peek is lookup without touching LRU state (used by coherence probes).
+func (l *level) peek(tag uint64) *line {
+	set := l.sets[l.setOf(tag)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// fill inserts tag, returning the victim's tag and whether a valid line
+// was evicted.
+func (l *level) fill(tag uint64, dirty, shared bool) (victimTag uint64, evicted bool) {
+	set := l.sets[l.setOf(tag)]
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.lru < victim.lru {
+			victim = w
+		}
+	}
+	victimTag, evicted = victim.tag, victim.valid
+	l.lruClock++
+	*victim = line{tag: tag, valid: true, dirty: dirty, shared: shared, lru: l.lruClock}
+	return victimTag, evicted
+}
+
+// invalidate drops the line if present, returning whether it was dirty.
+func (l *level) invalidate(tag uint64) (wasDirty, wasPresent bool) {
+	if w := l.peek(tag); w != nil {
+		w.valid = false
+		return w.dirty, true
+	}
+	return false, false
+}

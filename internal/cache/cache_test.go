@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"testing"
+)
+
+// tinyConfig is a small hierarchy for deterministic eviction tests:
+// L1 = 4 sets × 2 ways × 64 B = 512 B, L2 = 2 KB, no prefetch.
+func tinyConfig() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 512, Assoc: 2, Latency: 4, Shared: false},
+			{Name: "L2", Size: 2048, Assoc: 4, Latency: 12, Shared: false},
+			{Name: "L3", Size: 8192, Assoc: 8, Latency: 40, Shared: true},
+		},
+		MemLatency: 200,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.LineSize = 48
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	bad = DefaultConfig()
+	bad.Levels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	// Non-power-of-two set counts are legal (sliced LLCs); the default
+	// config's 20 MB L3 has 20480 sets.
+	sliced := DefaultConfig()
+	if err := sliced.Validate(); err != nil {
+		t.Errorf("sliced LLC config rejected: %v", err)
+	}
+	bad = DefaultConfig()
+	bad.MemLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+	bad = DefaultConfig()
+	bad.Levels[0], bad.Levels[2] = bad.Levels[2], bad.Levels[0]
+	if err := bad.Validate(); err == nil {
+		t.Error("shrinking hierarchy accepted")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	h, err := NewHierarchy(tinyConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := h.Access(0, 0x400000, 0x1000, 8, false)
+	if r1.Level != 4 || r1.Latency != 200 {
+		t.Errorf("cold access: level %d latency %d, want memory(4)/200", r1.Level, r1.Latency)
+	}
+	r2 := h.Access(0, 0x400000, 0x1008, 8, false) // same line
+	if r2.Level != 1 || r2.Latency != 4 {
+		t.Errorf("warm access: level %d latency %d, want L1(1)/4", r2.Level, r2.Latency)
+	}
+	st := h.Stats()
+	if st.Level("L1").Misses != 1 || st.Level("L1").Hits != 1 {
+		t.Errorf("L1 stats = %+v", st.Level("L1"))
+	}
+	if st.DemandAccesses != 2 {
+		t.Errorf("demand accesses = %d", st.DemandAccesses)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 1)
+	// L1: 4 sets, 2 ways. Three lines mapping to set 0: line addresses
+	// with identical low set bits. set = (addr>>6) & 3.
+	a := uint64(0 << 8) // set 0
+	b := uint64(1 << 8)
+	c := uint64(2 << 8)
+	h.Access(0, 1, a, 8, false) // miss, fill
+	h.Access(0, 1, b, 8, false) // miss, fill — set 0 now {a,b}
+	h.Access(0, 1, a, 8, false) // hit: a is MRU
+	h.Access(0, 1, c, 8, false) // miss: evicts b (LRU)
+	if r := h.Access(0, 1, a, 8, false); r.Level != 1 {
+		t.Errorf("a evicted despite being MRU (level %d)", r.Level)
+	}
+	if r := h.Access(0, 1, b, 8, false); r.Level == 1 {
+		t.Error("b still in L1 despite LRU eviction")
+	}
+}
+
+func TestL2ServesL1Evictions(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 1)
+	// Touch 3 lines in one L1 set: the evicted one must hit in L2.
+	a, b, c := uint64(0<<8), uint64(1<<8), uint64(2<<8)
+	h.Access(0, 1, a, 8, false)
+	h.Access(0, 1, b, 8, false)
+	h.Access(0, 1, c, 8, false) // evicts a or b from L1
+	rb := h.Access(0, 1, b, 8, false)
+	if rb.Level > 2 {
+		t.Errorf("b should be served by L1 or L2, got level %d", rb.Level)
+	}
+}
+
+func TestSharedL3AcrossCores(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 2)
+	h.Access(0, 1, 0x1000, 8, false) // core 0 faults the line in
+	r := h.Access(1, 1, 0x1000, 8, false)
+	if r.Level != 3 {
+		t.Errorf("core 1 access level = %d, want L3(3)", r.Level)
+	}
+}
+
+func TestWriteInvalidatesOtherCores(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 2)
+	h.Access(0, 1, 0x1000, 8, false) // core 0 caches it
+	h.Access(1, 1, 0x1000, 8, false) // core 1 caches it (shared)
+	h.Access(1, 2, 0x1000, 8, true)  // core 1 writes: invalidate core 0
+	r := h.Access(0, 1, 0x1000, 8, false)
+	if r.Level <= 2 {
+		t.Errorf("core 0 still has the line privately after remote write (level %d)", r.Level)
+	}
+	if h.Stats().Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+}
+
+func TestWriteAfterReadDowngrade(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 2)
+	h.Access(0, 1, 0x1000, 8, true)  // core 0 writes (modified, exclusive)
+	h.Access(1, 1, 0x1000, 8, false) // core 1 reads: downgrade core 0 to shared
+	h.Access(0, 2, 0x1000, 8, true)  // core 0 writes again: must probe core 1
+	r := h.Access(1, 1, 0x1000, 8, false)
+	if r.Level <= 2 {
+		t.Errorf("core 1 kept a stale private copy (level %d)", r.Level)
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Levels = cfg.Levels[:2] // L1 + L2 only, so L2 evictions are easy to force
+	cfg.Levels[1] = LevelConfig{Name: "L2", Size: 512, Assoc: 2, Latency: 12, Shared: true}
+	h, _ := NewHierarchy(cfg, 1)
+	// L2 has 4 sets × 2 ways. Fill set 0 of L2 with 3 lines: the L2
+	// victim (a — L1 hits do not refresh L2 recency) must also leave L1
+	// because the hierarchy is inclusive.
+	a, b, c := uint64(0<<8), uint64(1<<8), uint64(2<<8)
+	h.Access(0, 1, a, 8, false)
+	h.Access(0, 1, b, 8, false)
+	h.Access(0, 1, c, 8, false) // evicts a from L2 → back-invalidate L1
+	if r := h.Access(0, 1, a, 8, false); r.Level != cfg.MemLevel() {
+		t.Errorf("a served from level %d after L2 eviction, want memory", r.Level)
+	}
+}
+
+func TestPrefetcherStrideStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prefetch = true
+	h, _ := NewHierarchy(cfg, 1)
+	pc := uint64(0x400100)
+	// A unit-line-stride stream: after training, later lines should be
+	// prefetched (hit in L2 rather than memory).
+	var memMisses int
+	for i := 0; i < 64; i++ {
+		addr := uint64(0x100000 + i*64)
+		r := h.Access(0, pc, addr, 8, false)
+		if r.Level == cfg.MemLevel() {
+			memMisses++
+		}
+	}
+	if h.PrefetchIssued == 0 {
+		t.Fatal("prefetcher never fired on a constant-stride stream")
+	}
+	if memMisses > 10 {
+		t.Errorf("memory misses = %d of 64; prefetcher ineffective", memMisses)
+	}
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	cfg := tinyConfig() // Prefetch false
+	h, _ := NewHierarchy(cfg, 1)
+	for i := 0; i < 64; i++ {
+		h.Access(0, 0x400100, uint64(0x100000+i*64), 8, false)
+	}
+	if h.PrefetchIssued != 0 {
+		t.Error("prefetches issued with prefetcher disabled")
+	}
+}
+
+func TestPrefetcherIgnoresIrregular(t *testing.T) {
+	cfg := DefaultConfig()
+	h, _ := NewHierarchy(cfg, 1)
+	pc := uint64(0x400100)
+	addrs := []uint64{0x1000, 0x9000, 0x2000, 0xf000, 0x3000, 0x11000, 0x500, 0x7700}
+	for _, a := range addrs {
+		h.Access(0, pc, a, 8, false)
+	}
+	if h.PrefetchIssued != 0 {
+		t.Errorf("prefetched %d lines on an irregular stream", h.PrefetchIssued)
+	}
+}
+
+func TestStatsLevelLookup(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 1)
+	h.Access(0, 1, 0x1000, 8, false)
+	st := h.Stats()
+	if st.Level("L2").Name != "L2" {
+		t.Error("Level lookup broken")
+	}
+	if st.Level("nope").Accesses != 0 {
+		t.Error("unknown level should be zero-valued")
+	}
+	l1 := st.Level("L1")
+	if l1.MissRatio() != 1.0 {
+		t.Errorf("MissRatio = %v, want 1", l1.MissRatio())
+	}
+	if (LevelStats{}).MissRatio() != 0 {
+		t.Error("idle level MissRatio should be 0")
+	}
+}
+
+func TestNewHierarchyErrors(t *testing.T) {
+	if _, err := NewHierarchy(tinyConfig(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	bad := tinyConfig()
+	bad.LineSize = 0
+	if _, err := NewHierarchy(bad, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMemLevel(t *testing.T) {
+	if got := tinyConfig().MemLevel(); got != 4 {
+		t.Errorf("MemLevel = %d, want 4", got)
+	}
+}
+
+// TestSplitVersusAoSMissRatio is the microcosm of the whole paper: scanning
+// one 8-byte field of a 64-byte struct misses on every element, while
+// scanning a dense 8-byte array misses once per 8 elements.
+func TestSplitVersusAoSMissRatio(t *testing.T) {
+	run := func(stride int) uint64 {
+		cfg := DefaultConfig()
+		cfg.Prefetch = false
+		h, _ := NewHierarchy(cfg, 1)
+		const n = 4096
+		for i := 0; i < n; i++ {
+			h.Access(0, 0x400100, uint64(0x100000+i*stride), 8, false)
+		}
+		return h.Stats().Level("L1").Misses
+	}
+	aos := run(64) // one field per line
+	soa := run(8)  // dense field array
+	if aos < soa*6 {
+		t.Errorf("AoS misses (%d) should be ~8× SoA misses (%d)", aos, soa)
+	}
+}

@@ -1,0 +1,459 @@
+package cache
+
+import "fmt"
+
+// Hierarchy is a multi-core cache hierarchy: the private levels are
+// instantiated per core, the shared levels once.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	numCores  int
+
+	// levels[i] holds either numCores instances (private) or 1 (shared).
+	levels [][]*level
+
+	// directory maps a line tag to the bitmask of cores whose private
+	// hierarchy may hold it. Maintained on private fills and evictions;
+	// consulted on writes to shared lines and on back-invalidations.
+	directory map[uint64]uint32
+
+	prefetchers []*strideTable
+	tlbs        []*tlb
+	// PrefetchIssued / PrefetchUseful count prefetcher activity.
+	PrefetchIssued uint64
+	PrefetchUseful uint64
+
+	demandAccesses uint64
+	writeBacks     uint64
+	invalidations  uint64
+}
+
+// NewHierarchy builds a hierarchy for the given core count.
+func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numCores <= 0 {
+		return nil, fmt.Errorf("core count %d", numCores)
+	}
+	h := &Hierarchy{cfg: cfg, numCores: numCores, directory: make(map[uint64]uint32)}
+	for s := cfg.LineSize; s > 1; s >>= 1 {
+		h.lineShift++
+	}
+	for _, lc := range cfg.Levels {
+		n := numCores
+		if lc.Shared {
+			n = 1
+		}
+		insts := make([]*level, n)
+		for i := range insts {
+			insts[i] = newLevel(lc, cfg.LineSize)
+		}
+		h.levels = append(h.levels, insts)
+	}
+	if cfg.Prefetch {
+		h.prefetchers = make([]*strideTable, numCores)
+		for i := range h.prefetchers {
+			h.prefetchers[i] = newStrideTable()
+		}
+	}
+	if tcfg := cfg.TLB.withDefaults(); tcfg.Entries > 0 {
+		h.cfg.TLB = tcfg
+		h.tlbs = make([]*tlb, numCores)
+		for i := range h.tlbs {
+			h.tlbs[i] = newTLB(tcfg)
+		}
+	}
+	return h, nil
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// NumCores returns the configured core count.
+func (h *Hierarchy) NumCores() int { return h.numCores }
+
+func (h *Hierarchy) inst(levelIdx, core int) *level {
+	insts := h.levels[levelIdx]
+	if len(insts) == 1 {
+		return insts[0]
+	}
+	return insts[core]
+}
+
+// lastPrivate returns the index of the deepest private level, or -1.
+func (h *Hierarchy) lastPrivate() int {
+	lp := -1
+	for i, lc := range h.cfg.Levels {
+		if !lc.Shared {
+			lp = i
+		}
+	}
+	return lp
+}
+
+// Access performs one demand access by core to addr. pc is the accessing
+// instruction's address (used by the prefetcher). Accesses that span two
+// lines are charged to the first line. Returns the serving level and
+// total latency.
+func (h *Hierarchy) Access(core int, pc, addr uint64, size int, write bool) Result {
+	h.demandAccesses++
+	tag := addr >> h.lineShift
+
+	res := h.accessLine(core, tag, write, true)
+	if h.tlbs != nil {
+		res.Latency += uint32(h.tlbs[core].access(addr))
+	}
+
+	if h.prefetchers != nil {
+		h.trainPrefetcher(core, pc, addr)
+	}
+	return res
+}
+
+// accessLine walks the hierarchy for one line. demand distinguishes real
+// accesses from prefetches (prefetches do not perturb counters).
+func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result {
+	hitLevel := -1
+	var hitLine *line
+	for li := range h.levels {
+		inst := h.inst(li, core)
+		if demand {
+			inst.Accesses++
+		}
+		if w := inst.lookup(tag); w != nil {
+			hitLevel = li
+			hitLine = w
+			if demand {
+				inst.Hits++
+			}
+			break
+		}
+		if demand {
+			inst.Misses++
+		}
+	}
+
+	latency := 0
+	servedBy := len(h.levels) + 1 // memory
+	if hitLevel >= 0 {
+		latency = h.cfg.Levels[hitLevel].Latency
+		servedBy = hitLevel + 1
+	} else {
+		latency = h.cfg.MemLatency
+	}
+
+	// Write semantics: writing a line that another core may hold must
+	// invalidate the other copies (MESI write-invalidate).
+	if write {
+		if hitLine != nil && hitLevel < len(h.levels) && !h.cfg.Levels[hitLevel].Shared && !hitLine.shared {
+			// Exclusive in our own private hierarchy: silent upgrade.
+		} else {
+			h.invalidateOthers(core, tag)
+		}
+	}
+
+	// Fill the line into every level above the serving one (on a full
+	// miss, into every level — inclusive hierarchy).
+	fillTo := hitLevel
+	if fillTo < 0 {
+		fillTo = len(h.levels)
+	}
+	sharedByOthers := h.heldByOthers(core, tag)
+	if sharedByOthers && !write && fillTo > 0 {
+		// Another core holds the line exclusive/modified; a read fill
+		// downgrades its copy to shared so its next write probes us.
+		h.downgradeOthers(core, tag)
+	}
+	for li := fillTo - 1; li >= 0; li-- {
+		h.fillLevel(li, core, tag, write, sharedByOthers)
+	}
+	// A hit line may still need its dirty bit set on writes.
+	if hitLine != nil && write {
+		hitLine.dirty = true
+		hitLine.shared = false
+	}
+	// Record directory occupancy only when a private fill happened; an L1
+	// hit means the bit is already set.
+	if hitLevel != 0 {
+		h.noteDirectoryFill(core, tag)
+	}
+
+	return Result{Latency: uint32(latency), Level: uint8(servedBy)}
+}
+
+// fillLevel inserts the line at one level, handling eviction fallout.
+func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
+	inst := h.inst(li, core)
+	victimTag, evicted := inst.fill(tag, dirty, shared)
+	if !evicted || victimTag == tag {
+		return
+	}
+	// Inclusive hierarchy: evicting from a lower level back-invalidates
+	// the levels above it.
+	if h.cfg.Levels[li].Shared {
+		// Shared level eviction: kick the line out of every core that
+		// holds it (per the directory), then drop the directory entry.
+		if mask, ok := h.directory[victimTag]; ok && mask != 0 {
+			for c := 0; c < h.numCores; c++ {
+				if mask&(1<<uint(c)) == 0 {
+					continue
+				}
+				for lj := li - 1; lj >= 0; lj-- {
+					if dirtyWB, present := h.inst(lj, c).invalidate(victimTag); present {
+						h.invalidations++
+						if dirtyWB {
+							h.writeBacks++
+						}
+					}
+				}
+			}
+			delete(h.directory, victimTag)
+		}
+	} else {
+		// Private level eviction: back-invalidate this core's levels
+		// above, and clear the directory bit if this was the deepest
+		// private level.
+		for lj := li - 1; lj >= 0; lj-- {
+			if dirtyWB, present := h.inst(lj, core).invalidate(victimTag); present {
+				h.invalidations++
+				if dirtyWB {
+					h.writeBacks++
+				}
+			}
+		}
+		if li == h.lastPrivate() {
+			h.clearDirectoryBit(core, victimTag)
+		}
+	}
+}
+
+// heldByOthers reports whether any other core's private hierarchy may hold
+// the line.
+func (h *Hierarchy) heldByOthers(core int, tag uint64) bool {
+	mask := h.directory[tag]
+	return mask&^(1<<uint(core)) != 0
+}
+
+// invalidateOthers removes the line from every other core's private
+// levels (a write-invalidate probe).
+func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
+	mask, ok := h.directory[tag]
+	if !ok {
+		return
+	}
+	others := mask &^ (1 << uint(core))
+	if others == 0 {
+		return
+	}
+	for c := 0; c < h.numCores; c++ {
+		if others&(1<<uint(c)) == 0 {
+			continue
+		}
+		for li := range h.levels {
+			if h.cfg.Levels[li].Shared {
+				continue
+			}
+			if dirtyWB, present := h.inst(li, c).invalidate(tag); present {
+				h.invalidations++
+				if dirtyWB {
+					h.writeBacks++
+				}
+			}
+		}
+	}
+	h.directory[tag] = mask & (1 << uint(core))
+}
+
+// downgradeOthers marks the line shared in every other core's private
+// levels, so a later write hit there consults the directory.
+func (h *Hierarchy) downgradeOthers(core int, tag uint64) {
+	mask := h.directory[tag] &^ (1 << uint(core))
+	if mask == 0 {
+		return
+	}
+	for c := 0; c < h.numCores; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		for li := range h.levels {
+			if h.cfg.Levels[li].Shared {
+				continue
+			}
+			if w := h.inst(li, c).peek(tag); w != nil {
+				w.shared = true
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) noteDirectoryFill(core int, tag uint64) {
+	if h.lastPrivate() < 0 {
+		return
+	}
+	h.directory[tag] |= 1 << uint(core)
+}
+
+func (h *Hierarchy) clearDirectoryBit(core int, tag uint64) {
+	if mask, ok := h.directory[tag]; ok {
+		mask &^= 1 << uint(core)
+		if mask == 0 {
+			delete(h.directory, tag)
+		} else {
+			h.directory[tag] = mask
+		}
+	}
+}
+
+// --- Prefetcher ----------------------------------------------------------
+
+const (
+	strideTableSize = 256
+	strideConfMin   = 2
+)
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int8
+}
+
+// strideTable is a per-core, per-PC stride predictor, direct-mapped like
+// hardware reference-prediction tables.
+type strideTable struct {
+	entries [strideTableSize]strideEntry
+}
+
+func newStrideTable() *strideTable { return &strideTable{} }
+
+// trainPrefetcher updates the predictor with a demand access and issues
+// prefetches once a stride is confirmed.
+func (h *Hierarchy) trainPrefetcher(core int, pc, addr uint64) {
+	t := h.prefetchers[core]
+	e := &t.entries[(pc>>2)%strideTableSize]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < strideConfMin {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return
+	}
+	if e.conf < strideConfMin {
+		return
+	}
+	// Confident: prefetch the next PrefetchDegree strides into the
+	// hierarchy (as non-demand fills ending at L2, the common design).
+	for d := 1; d <= h.cfg.PrefetchDegree; d++ {
+		next := uint64(int64(addr) + stride*int64(d))
+		tag := next >> h.lineShift
+		if tag == addr>>h.lineShift {
+			continue
+		}
+		if h.prefetchPresent(core, tag) {
+			continue
+		}
+		h.PrefetchIssued++
+		h.prefetchFill(core, tag)
+	}
+}
+
+// prefetchPresent checks whether the line is already anywhere in the
+// core's view of the hierarchy.
+func (h *Hierarchy) prefetchPresent(core int, tag uint64) bool {
+	for li := range h.levels {
+		if h.inst(li, core).peek(tag) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// prefetchFill inserts the line into the second-closest level and below
+// (prefetching into L1 would pollute it; hardware prefetchers typically
+// target L2).
+func (h *Hierarchy) prefetchFill(core int, tag uint64) {
+	start := 1
+	if len(h.levels) == 1 {
+		start = 0
+	}
+	for li := len(h.levels) - 1; li >= start; li-- {
+		h.fillLevel(li, core, tag, false, h.heldByOthers(core, tag))
+	}
+	if h.lastPrivate() >= start {
+		h.noteDirectoryFill(core, tag)
+	}
+}
+
+// --- Stats ----------------------------------------------------------------
+
+// LevelStats aggregates one level's counters across instances.
+type LevelStats struct {
+	Name     string
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 for idle levels.
+func (s LevelStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Stats is a point-in-time snapshot of the hierarchy's counters.
+type Stats struct {
+	Levels         []LevelStats
+	DemandAccesses uint64
+	WriteBacks     uint64
+	Invalidations  uint64
+	PrefetchIssued uint64
+	TLB            TLBStats
+}
+
+// Stats snapshots all counters, summing private instances per level.
+func (h *Hierarchy) Stats() Stats {
+	st := Stats{
+		DemandAccesses: h.demandAccesses,
+		WriteBacks:     h.writeBacks,
+		Invalidations:  h.invalidations,
+		PrefetchIssued: h.PrefetchIssued,
+	}
+	for li, insts := range h.levels {
+		ls := LevelStats{Name: h.cfg.Levels[li].Name}
+		for _, inst := range insts {
+			ls.Accesses += inst.Accesses
+			ls.Hits += inst.Hits
+			ls.Misses += inst.Misses
+		}
+		st.Levels = append(st.Levels, ls)
+	}
+	for _, t := range h.tlbs {
+		st.TLB.Accesses += t.Accesses
+		st.TLB.Misses += t.Misses
+	}
+	return st
+}
+
+// Level returns the stats of the named level, or a zero value.
+func (s Stats) Level(name string) LevelStats {
+	for _, l := range s.Levels {
+		if l.Name == name {
+			return l
+		}
+	}
+	return LevelStats{Name: name}
+}

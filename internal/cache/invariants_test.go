@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkInclusion asserts the inclusive-hierarchy invariant: every valid
+// line in a private level is present in every level below it (same core
+// for private levels, the shared instance for shared ones).
+func checkInclusion(t *testing.T, h *Hierarchy) {
+	t.Helper()
+	for li := 0; li < len(h.levels)-1; li++ {
+		for core := 0; core < h.numCores; core++ {
+			upper := h.inst(li, core)
+			for _, set := range upper.sets {
+				for _, ln := range set {
+					if !ln.valid {
+						continue
+					}
+					for lj := li + 1; lj < len(h.levels); lj++ {
+						lower := h.inst(lj, core)
+						if lower.peek(ln.tag) == nil {
+							t.Fatalf("inclusion violated: line %#x in %s (core %d) missing from %s",
+								ln.tag, h.cfg.Levels[li].Name, core, h.cfg.Levels[lj].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkDirectory asserts that every valid line in a core's private
+// hierarchy has its directory bit set (the converse may transiently not
+// hold, which is safe: spurious probes, never missed ones).
+func checkDirectory(t *testing.T, h *Hierarchy) {
+	t.Helper()
+	lp := h.lastPrivate()
+	if lp < 0 {
+		return
+	}
+	for core := 0; core < h.numCores; core++ {
+		for li := 0; li <= lp; li++ {
+			inst := h.inst(li, core)
+			for _, set := range inst.sets {
+				for _, ln := range set {
+					if !ln.valid {
+						continue
+					}
+					if h.directory[ln.tag]&(1<<uint(core)) == 0 {
+						t.Fatalf("directory lost core %d's line %#x (level %s)",
+							core, ln.tag, h.cfg.Levels[li].Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyInvariantsUnderRandomAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		cfg := tinyConfig()
+		cfg.Prefetch = trial%2 == 1
+		cfg.PrefetchDegree = 2
+		cores := 1 + trial%3
+		h, err := NewHierarchy(cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			core := rng.Intn(cores)
+			// A mix of hot lines (conflict pressure) and a wide range.
+			var addr uint64
+			if rng.Intn(2) == 0 {
+				addr = uint64(rng.Intn(64)) * 64
+			} else {
+				addr = uint64(rng.Intn(1 << 20))
+			}
+			h.Access(core, uint64(0x400000+rng.Intn(32)*4), addr, 8, rng.Intn(3) == 0)
+		}
+		checkInclusion(t, h)
+		checkDirectory(t, h)
+		// Counter sanity: hits + misses == accesses at every level.
+		st := h.Stats()
+		for _, ls := range st.Levels {
+			if ls.Hits+ls.Misses != ls.Accesses {
+				t.Fatalf("%s: hits %d + misses %d != accesses %d",
+					ls.Name, ls.Hits, ls.Misses, ls.Accesses)
+			}
+		}
+		if st.Levels[0].Accesses != st.DemandAccesses {
+			t.Fatalf("L1 accesses %d != demand %d", st.Levels[0].Accesses, st.DemandAccesses)
+		}
+	}
+}
+
+// TestAccessedLineLandsInL1: after any demand access the line is L1-
+// resident (write-allocate, fill-on-miss).
+func TestAccessedLineLandsInL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, _ := NewHierarchy(tinyConfig(), 2)
+	for i := 0; i < 2000; i++ {
+		core := rng.Intn(2)
+		addr := uint64(rng.Intn(1 << 18))
+		h.Access(core, 1, addr, 8, rng.Intn(2) == 0)
+		if h.inst(0, core).peek(addr>>6) == nil {
+			t.Fatalf("line %#x absent from L1 immediately after access", addr>>6)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package cache
+
+// A data TLB model. Structure splitting changes TLB behaviour too: a
+// 64-byte record touched at one field per iteration walks 16× more pages
+// per useful byte than the split 8-byte array, so on TLB-constrained
+// working sets part of the split's win is fewer page-table walks. The
+// TLB is optional (Config.TLB.Entries == 0 disables it) so the headline
+// experiments match the paper's cache-centric accounting; the
+// BenchmarkAblationTLB target quantifies its contribution.
+
+// TLBConfig describes a per-core data TLB.
+type TLBConfig struct {
+	// Entries is the total capacity; 0 disables TLB modeling.
+	Entries int
+	// Assoc is the associativity (default: fully associative up to 8,
+	// else 8-way).
+	Assoc int
+	// PageBits is log2 of the page size (default 12 → 4 KiB).
+	PageBits uint
+	// MissLatency is the page-walk cost in cycles (default 30).
+	MissLatency int
+}
+
+func (c TLBConfig) withDefaults() TLBConfig {
+	if c.Entries == 0 {
+		return c
+	}
+	if c.Assoc == 0 {
+		if c.Entries <= 8 {
+			c.Assoc = c.Entries
+		} else {
+			c.Assoc = 8
+		}
+	}
+	if c.PageBits == 0 {
+		c.PageBits = 12
+	}
+	if c.MissLatency == 0 {
+		c.MissLatency = 30
+	}
+	return c
+}
+
+// DefaultTLBConfig models a first-level DTLB: 64 entries, 4-way, 4 KiB
+// pages, 30-cycle walks.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{Entries: 64, Assoc: 4, PageBits: 12, MissLatency: 30}
+}
+
+type tlbEntry struct {
+	page  uint64
+	valid bool
+	lru   uint64
+}
+
+// tlb is one core's set-associative DTLB.
+type tlb struct {
+	cfg   TLBConfig
+	sets  [][]tlbEntry
+	nsets uint64
+	clock uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+func newTLB(cfg TLBConfig) *tlb {
+	nsets := cfg.Entries / cfg.Assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	t := &tlb{cfg: cfg, nsets: uint64(nsets)}
+	backing := make([]tlbEntry, nsets*cfg.Assoc)
+	t.sets = make([][]tlbEntry, nsets)
+	for i := range t.sets {
+		t.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return t
+}
+
+// access translates one address, returning the added latency (0 on hit).
+func (t *tlb) access(addr uint64) int {
+	t.Accesses++
+	page := addr >> t.cfg.PageBits
+	set := t.sets[page%t.nsets]
+	t.clock++
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].lru = t.clock
+			return 0
+		}
+	}
+	t.Misses++
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	*victim = tlbEntry{page: page, valid: true, lru: t.clock}
+	return t.cfg.MissLatency
+}
+
+// TLBStats aggregates DTLB counters across cores.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRatio returns Misses/Accesses (0 when idle).
+func (s TLBStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}

@@ -1,0 +1,115 @@
+package cache
+
+import "testing"
+
+func tlbHierarchy(t *testing.T, entries int) *Hierarchy {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.TLB = TLBConfig{Entries: entries}
+	h, err := NewHierarchy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTLBDisabledByDefault(t *testing.T) {
+	h, _ := NewHierarchy(tinyConfig(), 1)
+	h.Access(0, 1, 0x1000, 8, false)
+	if st := h.Stats(); st.TLB.Accesses != 0 {
+		t.Errorf("TLB active without configuration: %+v", st.TLB)
+	}
+}
+
+func TestTLBHitAndMiss(t *testing.T) {
+	h := tlbHierarchy(t, 64)
+	// First touch of a page: walk penalty on top of the memory latency.
+	r1 := h.Access(0, 1, 0x10000, 8, false)
+	if r1.Latency != 200+30 {
+		t.Errorf("cold access latency = %d, want 230 (mem + walk)", r1.Latency)
+	}
+	// Same page, different line: cache miss but TLB hit.
+	r2 := h.Access(0, 1, 0x10100, 8, false)
+	if r2.Latency != 200 {
+		t.Errorf("same-page access latency = %d, want 200", r2.Latency)
+	}
+	st := h.Stats()
+	if st.TLB.Accesses != 2 || st.TLB.Misses != 1 {
+		t.Errorf("TLB stats = %+v", st.TLB)
+	}
+	if st.TLB.MissRatio() != 0.5 {
+		t.Errorf("miss ratio = %v", st.TLB.MissRatio())
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	h := tlbHierarchy(t, 8) // fully associative, 8 entries
+	// Touch 9 distinct pages, then re-touch the first: it must have been
+	// evicted (LRU).
+	for p := 0; p < 9; p++ {
+		h.Access(0, 1, uint64(p)<<12, 8, false)
+	}
+	before := h.Stats().TLB.Misses
+	h.Access(0, 1, 0, 8, false)
+	if h.Stats().TLB.Misses != before+1 {
+		t.Error("first page survived capacity eviction")
+	}
+}
+
+func TestTLBPerCore(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLB = TLBConfig{Entries: 64}
+	h, err := NewHierarchy(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 1, 0x10000, 8, false) // core 0 walks the page
+	r := h.Access(1, 1, 0x10040, 8, false)
+	// Core 1 has its own TLB: the page walk repeats even though the
+	// line may be shared.
+	if st := h.Stats(); st.TLB.Misses != 2 {
+		t.Errorf("TLB misses = %d, want 2 (per-core TLBs)", st.TLB.Misses)
+	}
+	_ = r
+}
+
+// TestTLBSplitBenefit: scanning one 8-byte field of 64-byte records
+// touches 8× the pages per useful element compared to the split dense
+// array — the TLB-level version of the paper's cache argument.
+func TestTLBSplitBenefit(t *testing.T) {
+	run := func(stride int) uint64 {
+		cfg := tinyConfig()
+		cfg.TLB = TLBConfig{Entries: 16}
+		h, _ := NewHierarchy(cfg, 1)
+		const n = 1 << 14
+		for i := 0; i < n; i++ {
+			h.Access(0, 1, uint64(i*stride), 8, false)
+		}
+		return h.Stats().TLB.Misses
+	}
+	aos := run(64)
+	soa := run(8)
+	if aos < soa*7 {
+		t.Errorf("AoS TLB misses (%d) should be ~8× SoA (%d)", aos, soa)
+	}
+}
+
+func TestTLBConfigDefaults(t *testing.T) {
+	c := TLBConfig{Entries: 64}.withDefaults()
+	if c.Assoc != 8 || c.PageBits != 12 || c.MissLatency != 30 {
+		t.Errorf("defaults = %+v", c)
+	}
+	small := TLBConfig{Entries: 4}.withDefaults()
+	if small.Assoc != 4 {
+		t.Errorf("small TLB assoc = %d, want fully associative", small.Assoc)
+	}
+	if (TLBConfig{}).withDefaults().Entries != 0 {
+		t.Error("zero config should stay disabled")
+	}
+	if DefaultTLBConfig().Entries != 64 {
+		t.Error("default TLB config wrong")
+	}
+	if (TLBStats{}).MissRatio() != 0 {
+		t.Error("idle TLB ratio should be 0")
+	}
+}

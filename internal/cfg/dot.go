@@ -1,0 +1,116 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/prog"
+)
+
+// WriteDot renders one function's CFG in Graphviz dot format, with loop
+// headers highlighted and blocks annotated by their innermost loop —
+// the visual counterpart of what hpcstruct recovers from a binary.
+func WriteDot(w io.Writer, f *prog.Func, forest *Forest) {
+	fmt.Fprintf(w, "digraph cfg_%s {\n", sanitize(f.Name))
+	fmt.Fprintf(w, "  label=\"%s (%s)\";\n", f.Name, f.File)
+	fmt.Fprintf(w, "  node [shape=box, fontname=monospace];\n")
+
+	headers := map[int]*Loop{}
+	if forest != nil {
+		for _, l := range forest.Loops {
+			headers[l.Header] = l
+		}
+	}
+	g := Build(f)
+	for _, blk := range f.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "b%d", blk.ID)
+		if forest != nil && forest.InnermostOf[blk.ID] >= 0 {
+			l := forest.Loops[forest.InnermostOf[blk.ID]]
+			fmt.Fprintf(&label, " [loop d%d]", l.Depth)
+		}
+		lo, hi := int32(1<<30), int32(0)
+		for i := range blk.Instrs {
+			if ln := blk.Instrs[i].Line; ln > 0 {
+				if ln < lo {
+					lo = ln
+				}
+				if ln > hi {
+					hi = ln
+				}
+			}
+		}
+		if hi > 0 {
+			fmt.Fprintf(&label, "\\nL%d-%d", lo, hi)
+		}
+		style := ""
+		if l, ok := headers[blk.ID]; ok {
+			style = ", style=bold"
+			if l.Irreducible {
+				style = ", style=dashed"
+			}
+		}
+		fmt.Fprintf(w, "  b%d [label=\"%s\"%s];\n", blk.ID, label.String(), style)
+	}
+	for from, succs := range g.Succs {
+		for _, to := range succs {
+			attr := ""
+			if to <= from {
+				attr = " [color=red]" // back edge (by layout order)
+			}
+			fmt.Fprintf(w, "  b%d -> b%d%s;\n", from, to, attr)
+		}
+	}
+	fmt.Fprintf(w, "}\n")
+}
+
+// WriteLoopReport prints the recovered loop forest of a whole program as
+// text: one line per loop with nesting shown by indentation.
+func WriteLoopReport(w io.Writer, p *prog.Program, pl *ProgramLoops) {
+	fmt.Fprintf(w, "Loop structure of %s (interval analysis):\n", p.Name)
+	for fi, f := range p.Funcs {
+		forest := pl.Forests[fi]
+		if len(forest.Loops) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  func %s:\n", f.Name)
+		var walk func(l *Loop, depth int)
+		walk = func(l *Loop, depth int) {
+			info := pl.Info(LoopKey(fi, l.Header))
+			name := fmt.Sprintf("header b%d", l.Header)
+			if info != nil {
+				name = info.Name()
+			}
+			kind := ""
+			if l.Irreducible {
+				kind = " (irreducible)"
+			}
+			if l.SelfLoop {
+				kind = " (self loop)"
+			}
+			fmt.Fprintf(w, "    %s%s, %d blocks%s\n",
+				strings.Repeat("  ", depth), name, len(l.Blocks), kind)
+			for _, c := range l.Children {
+				walk(forest.Loops[c], depth+1)
+			}
+		}
+		for _, l := range forest.Loops {
+			if l.Parent < 0 {
+				walk(l, 0)
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package cfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+func nestedLoopProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("dotprog")
+	g := b.Global("a", 64*8, -1)
+	b.Func("main", "d.c")
+	base, i, j, v := b.R(), b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.AtLine(10)
+	b.ForRange(i, 0, 8, 1, func() {
+		b.AtLine(11)
+		b.ForRange(j, 0, 8, 1, func() {
+			b.AtLine(12)
+			b.Load(v, base, j, 8, 0, 8)
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestWriteDot(t *testing.T) {
+	p := nestedLoopProgram(t)
+	pl, err := AnalyzeLoops(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteDot(&buf, p.Funcs[0], pl.Forests[0])
+	out := buf.String()
+	for _, want := range []string{
+		"digraph cfg_main", "->", "style=bold", // loop headers highlighted
+		"color=red", // back edges
+		"[loop d2]", // nesting annotation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotNoForest(t *testing.T) {
+	p := nestedLoopProgram(t)
+	var buf bytes.Buffer
+	WriteDot(&buf, p.Funcs[0], nil)
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Error("dot output without forest broken")
+	}
+}
+
+func TestWriteLoopReport(t *testing.T) {
+	p := nestedLoopProgram(t)
+	pl, err := AnalyzeLoops(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteLoopReport(&buf, p, pl)
+	out := buf.String()
+	if !strings.Contains(out, "func main") {
+		t.Errorf("loop report missing function:\n%s", out)
+	}
+	// The inner loop must be indented under the outer one.
+	lines := strings.Split(out, "\n")
+	var outerIndent, innerIndent int
+	for _, ln := range lines {
+		if strings.Contains(ln, "d.c:") {
+			indent := len(ln) - len(strings.TrimLeft(ln, " "))
+			if outerIndent == 0 {
+				outerIndent = indent
+			} else if innerIndent == 0 {
+				innerIndent = indent
+			}
+		}
+	}
+	if innerIndent <= outerIndent {
+		t.Errorf("nesting not shown by indentation (outer %d, inner %d):\n%s",
+			outerIndent, innerIndent, out)
+	}
+}

@@ -1,0 +1,250 @@
+package cfg
+
+// Havlak's loop-nesting algorithm (P. Havlak, "Nesting of Reducible and
+// Irreducible Loops", TOPLAS 1997 — reference [11] of the paper). It
+// discovers the loop forest of an arbitrary CFG, including irreducible
+// regions, using one depth-first search and union-find over DFS numbers.
+
+// Loop is one discovered loop.
+type Loop struct {
+	ID          int
+	Header      int   // header block id
+	Blocks      []int // all member blocks, including nested loops' blocks
+	Parent      int   // enclosing loop id, or -1
+	Children    []int
+	Depth       int // 1 = outermost
+	Irreducible bool
+	SelfLoop    bool
+}
+
+// Forest is the loop-nesting forest of one function.
+type Forest struct {
+	Loops []*Loop
+	// InnermostOf[b] is the id of the innermost loop containing block b,
+	// or -1.
+	InnermostOf []int
+}
+
+// unionFind is path-compressing union-find over DFS numbers.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+func (u *unionFind) union(child, root int) { u.parent[u.find(child)] = u.find(root) }
+
+// FindLoops computes the loop forest of the graph with Havlak's algorithm.
+func FindLoops(g *Graph) *Forest {
+	nBlocks := len(g.Succs)
+	forest := &Forest{InnermostOf: make([]int, nBlocks)}
+	for i := range forest.InnermostOf {
+		forest.InnermostOf[i] = -1
+	}
+	if nBlocks == 0 {
+		return forest
+	}
+
+	// 1. DFS numbering from the entry block.
+	number := make([]int, nBlocks) // block -> DFS number, -1 unreachable
+	for i := range number {
+		number[i] = -1
+	}
+	last := make([]int, nBlocks) // DFS number -> highest descendant number
+	toBlock := make([]int, 0, nBlocks)
+
+	type frame struct {
+		block int
+		next  int
+	}
+	stack := []frame{{block: 0}}
+	number[0] = 0
+	toBlock = append(toBlock, 0)
+	counter := 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succs[f.block]) {
+			s := g.Succs[f.block][f.next]
+			f.next++
+			if number[s] < 0 {
+				number[s] = counter
+				toBlock = append(toBlock, s)
+				counter++
+				stack = append(stack, frame{block: s})
+			}
+			continue
+		}
+		last[number[f.block]] = counter - 1
+		stack = stack[:len(stack)-1]
+	}
+	n := counter // reachable node count; work in DFS-number space below
+
+	isAncestor := func(w, v int) bool { return w <= v && v <= last[w] }
+
+	// 2. Classify predecessors of each node into back and non-back edges.
+	backPreds := make([][]int, n)
+	nonBackPreds := make([][]int, n)
+	for w := 0; w < n; w++ {
+		wb := toBlock[w]
+		for _, pb := range g.Preds[wb] {
+			v := number[pb]
+			if v < 0 {
+				continue // unreachable predecessor
+			}
+			if isAncestor(w, v) {
+				backPreds[w] = append(backPreds[w], v)
+			} else {
+				nonBackPreds[w] = append(nonBackPreds[w], v)
+			}
+		}
+	}
+
+	// 3. Process headers bottom-up.
+	uf := newUnionFind(n)
+	headerOf := make([]int, n) // immediate loop header per node, -1 none
+	for i := range headerOf {
+		headerOf[i] = -1
+	}
+	type nodeKind uint8
+	const (
+		nonHeader nodeKind = iota
+		reducibleHdr
+		irreducibleHdr
+		selfHdr
+	)
+	kind := make([]nodeKind, n)
+
+	for w := n - 1; w >= 0; w-- {
+		var nodePool []int
+		inPool := make(map[int]bool)
+		for _, v := range backPreds[w] {
+			if v != w {
+				r := uf.find(v)
+				if !inPool[r] && r != w {
+					inPool[r] = true
+					nodePool = append(nodePool, r)
+				}
+			} else {
+				kind[w] = selfHdr
+			}
+		}
+		if len(nodePool) > 0 && kind[w] != selfHdr {
+			kind[w] = reducibleHdr
+		}
+		workList := append([]int(nil), nodePool...)
+		for len(workList) > 0 {
+			x := workList[len(workList)-1]
+			workList = workList[:len(workList)-1]
+			for _, y := range nonBackPreds[x] {
+				yr := uf.find(y)
+				if !isAncestor(w, yr) {
+					// An entry into the region from outside the spanning
+					// subtree: the loop is irreducible.
+					kind[w] = irreducibleHdr
+					nonBackPreds[w] = append(nonBackPreds[w], yr)
+					continue
+				}
+				if yr != w && !inPool[yr] {
+					inPool[yr] = true
+					nodePool = append(nodePool, yr)
+					workList = append(workList, yr)
+				}
+			}
+		}
+		if len(nodePool) > 0 || kind[w] == selfHdr {
+			for _, x := range nodePool {
+				headerOf[x] = w
+				uf.union(x, w)
+			}
+			if kind[w] == nonHeader {
+				kind[w] = reducibleHdr
+			}
+		}
+	}
+
+	// 4. Materialize Loop structs in header DFS order so parents (outer
+	// loops, smaller DFS numbers) come first.
+	loopIDOf := make([]int, n)
+	for i := range loopIDOf {
+		loopIDOf[i] = -1
+	}
+	for w := 0; w < n; w++ {
+		if kind[w] == nonHeader {
+			continue
+		}
+		l := &Loop{
+			ID:          len(forest.Loops),
+			Header:      toBlock[w],
+			Parent:      -1,
+			Irreducible: kind[w] == irreducibleHdr,
+			SelfLoop:    kind[w] == selfHdr,
+		}
+		loopIDOf[w] = l.ID
+		forest.Loops = append(forest.Loops, l)
+	}
+
+	// Parent links: a header's enclosing loop is the loop of its own
+	// immediate header (following headerOf).
+	for w := 0; w < n; w++ {
+		lid := loopIDOf[w]
+		if lid < 0 {
+			continue
+		}
+		if h := headerOf[w]; h >= 0 && loopIDOf[h] >= 0 {
+			forest.Loops[lid].Parent = loopIDOf[h]
+			forest.Loops[loopIDOf[h]].Children = append(forest.Loops[loopIDOf[h]].Children, lid)
+		}
+	}
+
+	// Depths.
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(forest.Loops[c], d+1)
+		}
+	}
+	for _, l := range forest.Loops {
+		if l.Parent < 0 {
+			setDepth(l, 1)
+		}
+	}
+
+	// Membership: each node belongs to the loop of its innermost header;
+	// headers belong to their own loop.
+	for w := 0; w < n; w++ {
+		lid := loopIDOf[w]
+		if lid < 0 {
+			if h := headerOf[w]; h >= 0 {
+				lid = loopIDOf[h]
+			}
+		}
+		if lid >= 0 {
+			forest.InnermostOf[toBlock[w]] = lid
+		}
+	}
+	// Full block lists, propagating members to enclosing loops.
+	for b := 0; b < nBlocks; b++ {
+		for lid := forest.InnermostOf[b]; lid >= 0; lid = forest.Loops[lid].Parent {
+			forest.Loops[lid].Blocks = append(forest.Loops[lid].Blocks, b)
+		}
+	}
+	return forest
+}

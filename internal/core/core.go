@@ -1,0 +1,572 @@
+// Package core is StructSlim's offline analyzer — the paper's primary
+// contribution. It consumes a merged address-sample profile and the
+// program binary and produces structure-splitting advice through the
+// pipeline of Figure 2:
+//
+//  1. pinpoint hot data: rank logical data structures by their share of
+//     total access latency, l_d (Equation 1), and keep the top few;
+//  2. analyze access patterns: group samples into streams (one memory
+//     instruction × one data structure), recover each stream's stride
+//     with the GCD algorithm (Equations 2–3), derive the structure size
+//     (Equation 5) and each stream's field offset (Equation 6);
+//  3. compute field affinities: latency-weighted co-occurrence across
+//     loops (Equation 7), cluster high-affinity fields, and emit the
+//     split advice — as structured data, as paper-style struct
+//     definitions, and as the dot affinity graph of Figure 6.
+//
+// Loops are recovered from the binary by interval analysis (package cfg);
+// field names come from debug info (the program's struct-type registry)
+// and are used only for presentation — every analysis decision is made on
+// raw offsets, as on a real binary.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/affinity"
+	"repro/internal/cfg"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/stride"
+)
+
+// Options tunes the analyzer.
+type Options struct {
+	// TopK is how many data structures to analyze in depth, ranked by
+	// l_d. The paper: "we only need to investigate the top three".
+	TopK int
+	// MinLd drops structures below this latency share (0..1) even inside
+	// the top K.
+	MinLd float64
+	// AffinityThreshold is the clustering cut: fields joined by an edge
+	// with A_ij at or above it are grouped into the same split struct.
+	AffinityThreshold float64
+	// MinStreamSamples is the minimum sample count for a stream's stride
+	// to vote on the structure size (Equation 5). Equation 4 wants ~10
+	// unique addresses for high confidence, but the cross-stream GCD
+	// already corrects multiples, so the default is lower.
+	MinStreamSamples uint64
+	// KeepAllGroups retains insignificant structures in the report's
+	// deep-dive list too (used by tests and ablations).
+	KeepAllGroups bool
+	// WeightByCount switches Equation 7 from latency-weighted to
+	// access-count-weighted affinity — the Chilimbi-style baseline the
+	// paper argues against. Exposed for the ablation study; the default
+	// (false) is the paper's latency weighting.
+	WeightByCount bool
+}
+
+// DefaultOptions mirrors the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		TopK:              3,
+		MinLd:             0.01,
+		AffinityThreshold: 0.5,
+		MinStreamSamples:  3,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.TopK == 0 {
+		o.TopK = d.TopK
+	}
+	if o.AffinityThreshold == 0 {
+		o.AffinityThreshold = d.AffinityThreshold
+	}
+	if o.MinStreamSamples == 0 {
+		o.MinStreamSamples = d.MinStreamSamples
+	}
+	return o
+}
+
+// UnknownOffset marks samples whose field offset could not be resolved.
+const UnknownOffset = ^uint64(0)
+
+// Report is the analyzer's full output.
+type Report struct {
+	Program      string
+	TotalLatency uint64
+	NumSamples   uint64
+	Threads      int
+	OverheadPct  float64
+
+	// Structures lists the analyzed (significant) data structures in
+	// descending l_d order; Ranking summarizes every structure seen.
+	Structures []*StructReport
+	Ranking    []RankEntry
+
+	Loops *cfg.ProgramLoops
+}
+
+// RankEntry is one row of the hot-data ranking (Equation 1).
+type RankEntry struct {
+	Identity   uint64
+	Name       string
+	Ld         float64
+	LatencySum uint64
+	NumSamples uint64
+	Analyzed   bool
+}
+
+// StructReport is the deep analysis of one significant data structure.
+type StructReport struct {
+	Identity   uint64
+	Name       string // display name: symbol, or heap@file:line
+	TypeName   string // debug-info struct type name, "" if unknown
+	Ld         float64
+	LatencySum uint64
+	NumSamples uint64
+	NumObjects int // heap objects aggregated under this identity
+
+	// InferredSize is Equation 5's result from sampled strides;
+	// TrueSize is the debug-info size (0 when unavailable). The two are
+	// reported side by side as a validation of the GCD analysis.
+	InferredSize uint64
+	TrueSize     int
+
+	// LevelSamples histograms the structure's samples by serving data
+	// source (index = cache.Result.Level: 1=L1 … N+1=memory), the
+	// PEBS-LL "data source" breakdown.
+	LevelSamples map[uint8]uint64
+
+	Fields  []FieldReport
+	Loops   []LoopReport
+	Streams []StreamReport
+
+	Affinity     *affinity.Matrix
+	OffsetGroups [][]uint64
+	Advice       *SplitAdvice
+
+	// debugFields caches the debug-info field layout for name lookups.
+	debugFields []prog.PhysField
+}
+
+// FieldReport aggregates one field (identified by offset) program-wide —
+// the paper's Table 5 rows.
+type FieldReport struct {
+	Offset     uint64
+	Name       string
+	LatencySum uint64
+	Share      float64 // of this structure's latency
+	Samples    uint64
+	Writes     uint64
+}
+
+// LoopReport aggregates one loop's accesses to the structure — the
+// paper's Table 6 rows.
+type LoopReport struct {
+	Loop       *cfg.LoopInfo // nil for accesses outside any loop
+	Name       string
+	LatencySum uint64
+	Share      float64
+	Offsets    []uint64
+	FieldNames []string
+}
+
+// StreamReport is the per-stream diagnostic view.
+type StreamReport struct {
+	IP         uint64
+	Where      string // file:line
+	LoopName   string // "" when outside loops
+	Stride     uint64
+	Offset     uint64 // UnknownOffset if unresolved
+	Samples    uint64
+	LatencySum uint64
+	VotedSize  bool // contributed to Equation 5
+}
+
+// SplitAdvice is the actionable output: a partition of the structure's
+// fields into new structs.
+type SplitAdvice struct {
+	StructName string
+	// Groups partitions field names; Offsets holds the corresponding
+	// sampled offsets (empty for fields never sampled, which become
+	// singleton groups).
+	Groups  [][]string
+	Offsets [][]uint64
+	// Complete is true when debug info allowed covering every field of
+	// the record, so the advice is a valid total partition.
+	Complete bool
+}
+
+// Analyze runs the full pipeline.
+func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if p == nil || program == nil {
+		return nil, fmt.Errorf("nil profile or program")
+	}
+	loops, err := cfg.AnalyzeLoops(program)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Program:      program.Name,
+		TotalLatency: p.TotalLatency,
+		NumSamples:   p.NumSamples,
+		Threads:      p.Threads,
+		OverheadPct:  p.OverheadPct(),
+		Loops:        loops,
+	}
+
+	objByID := make(map[int32]*profile.ObjInfo, len(p.Objects))
+	for i := range p.Objects {
+		objByID[p.Objects[i].ID] = &p.Objects[i]
+	}
+
+	// --- Stage 1: pinpoint hot data (Equation 1) -------------------------
+	type accum struct {
+		identity uint64
+		latency  uint64
+		samples  uint64
+		objects  map[int32]bool
+		anyObj   *profile.ObjInfo
+	}
+	groups := make(map[uint64]*accum)
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if s.ObjID < 0 {
+			continue
+		}
+		obj := objByID[s.ObjID]
+		if obj == nil {
+			continue
+		}
+		g := groups[obj.Identity]
+		if g == nil {
+			g = &accum{identity: obj.Identity, objects: make(map[int32]bool), anyObj: obj}
+			groups[obj.Identity] = g
+		}
+		g.latency += uint64(s.Latency)
+		g.samples++
+		g.objects[s.ObjID] = true
+	}
+
+	ranked := make([]*accum, 0, len(groups))
+	for _, g := range groups {
+		ranked = append(ranked, g)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].latency != ranked[j].latency {
+			return ranked[i].latency > ranked[j].latency
+		}
+		return ranked[i].identity < ranked[j].identity
+	})
+
+	for rank, g := range ranked {
+		ld := 0.0
+		if p.TotalLatency > 0 {
+			ld = float64(g.latency) / float64(p.TotalLatency)
+		}
+		analyzed := (rank < opt.TopK && ld >= opt.MinLd) || opt.KeepAllGroups
+		rep.Ranking = append(rep.Ranking, RankEntry{
+			Identity:   g.identity,
+			Name:       displayName(g.anyObj, program),
+			Ld:         ld,
+			LatencySum: g.latency,
+			NumSamples: g.samples,
+			Analyzed:   analyzed,
+		})
+		if !analyzed {
+			continue
+		}
+		sr, err := analyzeStruct(p, program, loops, objByID, g.identity, g.latency, ld, len(g.objects), g.anyObj, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Structures = append(rep.Structures, sr)
+	}
+	return rep, nil
+}
+
+// displayName renders a structure's identity for humans: the symbol name
+// for statics, the allocation site for heap identities.
+func displayName(obj *profile.ObjInfo, program *prog.Program) string {
+	if obj == nil {
+		return "?"
+	}
+	if !obj.Heap {
+		return obj.Name
+	}
+	if file, line := program.LineOf(obj.AllocIP); file != "" {
+		return fmt.Sprintf("heap@%s:%d", file, line)
+	}
+	return obj.Name
+}
+
+// analyzeStruct runs stages 2 and 3 for one structure.
+func analyzeStruct(
+	p *profile.Profile,
+	program *prog.Program,
+	loops *cfg.ProgramLoops,
+	objByID map[int32]*profile.ObjInfo,
+	identity uint64,
+	latencySum uint64,
+	ld float64,
+	numObjects int,
+	anyObj *profile.ObjInfo,
+	opt Options,
+) (*StructReport, error) {
+	sr := &StructReport{
+		Identity:     identity,
+		Name:         displayName(anyObj, program),
+		Ld:           ld,
+		LatencySum:   latencySum,
+		NumObjects:   numObjects,
+		LevelSamples: make(map[uint8]uint64),
+	}
+
+	// Debug info (used for validation and naming only).
+	var debugType *prog.StructType
+	if anyObj.TypeID >= 0 && int(anyObj.TypeID) < len(program.Types) {
+		debugType = program.Types[anyObj.TypeID]
+		sr.TypeName = debugType.Name
+		sr.TrueSize = debugType.Size
+		sr.debugFields = debugType.Fields
+	}
+
+	// --- Stage 2a: streams and strides (Equations 2–3, 5) ---------------
+	type streamInfo struct {
+		key   profile.StreamKey
+		stat  *profile.StreamStat
+		voted bool
+	}
+	var streams []streamInfo
+	var sizeVotes []uint64
+	for key, stat := range p.Streams {
+		if key.Identity != identity {
+			continue
+		}
+		si := streamInfo{key: key, stat: stat}
+		if stat.Count >= opt.MinStreamSamples && stat.GCD >= stride.MinMeaningfulStride {
+			si.voted = true
+			sizeVotes = append(sizeVotes, stat.GCD)
+		}
+		streams = append(streams, si)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].key.IP < streams[j].key.IP })
+	sr.InferredSize = stride.StructSize(sizeVotes)
+
+	size := sr.InferredSize
+	if size == 0 {
+		// No regular stream pinned the size: the structure is accessed
+		// irregularly everywhere; report streams but no field analysis.
+		for _, si := range streams {
+			sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, UnknownOffset, program, loops))
+		}
+		return sr, nil
+	}
+
+	// --- Stage 2b: per-sample offsets, field and loop tables -------------
+	fieldLat := make(map[uint64]uint64)
+	fieldSamples := make(map[uint64]uint64)
+	fieldWrites := make(map[uint64]uint64)
+	type loopAgg struct {
+		lat     uint64
+		offsets map[uint64]bool
+	}
+	loopTab := make(map[uint64]*loopAgg) // loop key (0 = outside)
+	ab := affinity.NewBuilder()
+
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if s.ObjID < 0 {
+			continue
+		}
+		obj := objByID[s.ObjID]
+		if obj == nil || obj.Identity != identity {
+			continue
+		}
+		off := stride.Offset(s.EA, obj.Base, size)
+		fieldLat[off] += uint64(s.Latency)
+		fieldSamples[off]++
+		if s.Write {
+			fieldWrites[off]++
+		}
+		sr.LevelSamples[s.Level]++
+
+		var loopKey uint64
+		if li := loops.LoopOfIP(s.IP); li != nil {
+			loopKey = li.Key
+		}
+		la := loopTab[loopKey]
+		if la == nil {
+			la = &loopAgg{offsets: make(map[uint64]bool)}
+			loopTab[loopKey] = la
+		}
+		la.lat += uint64(s.Latency)
+		la.offsets[off] = true
+
+		// Affinity (Equation 7) counts co-occurrence within loops.
+		// Accesses outside any loop get a per-instruction pseudo-region
+		// so unrelated straight-line code does not fake co-occurrence.
+		affKey := loopKey
+		if affKey == 0 {
+			affKey = s.IP | 1<<63
+		}
+		weight := uint64(s.Latency)
+		if opt.WeightByCount {
+			weight = 1
+		}
+		ab.Add(affKey, off, weight)
+	}
+
+	// Field table (Table 5).
+	offsets := make([]uint64, 0, len(fieldLat))
+	for off := range fieldLat {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	for _, off := range offsets {
+		fr := FieldReport{
+			Offset:     off,
+			Name:       sr.fieldName(off),
+			LatencySum: fieldLat[off],
+			Samples:    fieldSamples[off],
+			Writes:     fieldWrites[off],
+		}
+		if latencySum > 0 {
+			fr.Share = float64(fr.LatencySum) / float64(latencySum)
+		}
+		sr.Fields = append(sr.Fields, fr)
+	}
+
+	// Loop table (Table 6).
+	for key, la := range loopTab {
+		lr := LoopReport{LatencySum: la.lat}
+		if latencySum > 0 {
+			lr.Share = float64(la.lat) / float64(latencySum)
+		}
+		if key != 0 {
+			lr.Loop = loops.Info(key)
+			if lr.Loop != nil {
+				lr.Name = lr.Loop.Name()
+			}
+		} else {
+			lr.Name = "(outside loops)"
+		}
+		for off := range la.offsets {
+			lr.Offsets = append(lr.Offsets, off)
+		}
+		sort.Slice(lr.Offsets, func(i, j int) bool { return lr.Offsets[i] < lr.Offsets[j] })
+		for _, off := range lr.Offsets {
+			lr.FieldNames = append(lr.FieldNames, sr.fieldName(off))
+		}
+		sr.Loops = append(sr.Loops, lr)
+	}
+	sort.Slice(sr.Loops, func(i, j int) bool {
+		if sr.Loops[i].LatencySum != sr.Loops[j].LatencySum {
+			return sr.Loops[i].LatencySum > sr.Loops[j].LatencySum
+		}
+		return sr.Loops[i].Name < sr.Loops[j].Name
+	})
+
+	// Stream diagnostics, with each stream's resolved offset.
+	for _, si := range streams {
+		off := UnknownOffset
+		if obj := objByID[si.stat.FirstObjID]; obj != nil {
+			off = stride.Offset(si.stat.FirstEA, obj.Base, size)
+		}
+		sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, off, program, loops))
+	}
+
+	// --- Stage 3: affinities and clustering (Equation 7) -----------------
+	sr.Affinity = ab.Compute()
+	sr.OffsetGroups = sr.Affinity.Cluster(opt.AffinityThreshold)
+	sr.Advice = sr.buildAdvice(debugType)
+	return sr, nil
+}
+
+// fieldName resolves an offset to a field name via debug info; offsets in
+// padding or without debug info render positionally.
+func (sr *StructReport) fieldName(off uint64) string {
+	if sr.TrueSize > 0 {
+		// InferredSize may be a multiple of the true size; normalize.
+		o := off % uint64(sr.TrueSize)
+		if sr.TypeName != "" {
+			if f := sr.debugFieldAt(int(o)); f != nil {
+				return f.Name
+			}
+		}
+	}
+	return fmt.Sprintf("+%d", off)
+}
+
+// debugField finds the debug field covering an offset. StructReport does
+// not retain the *StructType to stay serialization-friendly, so the
+// analyzer stashes the fields it needs.
+func (sr *StructReport) debugFieldAt(off int) *prog.PhysField {
+	for i := range sr.debugFields {
+		f := &sr.debugFields[i]
+		if off >= f.Offset && off < f.Offset+f.Size {
+			return f
+		}
+	}
+	return nil
+}
+
+// buildAdvice converts offset clusters into a field partition. With debug
+// info the partition is completed with never-sampled fields as singleton
+// groups (the paper's ART splitting gives cold field R its own struct).
+func (sr *StructReport) buildAdvice(debugType *prog.StructType) *SplitAdvice {
+	if len(sr.OffsetGroups) == 0 {
+		return nil
+	}
+	adv := &SplitAdvice{StructName: sr.Name}
+	if sr.TypeName != "" {
+		adv.StructName = sr.TypeName
+	}
+	covered := make(map[string]bool)
+	for _, og := range sr.OffsetGroups {
+		names := make([]string, 0, len(og))
+		seen := make(map[string]bool)
+		for _, off := range og {
+			n := sr.fieldName(off)
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+				covered[n] = true
+			}
+		}
+		adv.Groups = append(adv.Groups, names)
+		adv.Offsets = append(adv.Offsets, og)
+	}
+	if debugType != nil {
+		complete := true
+		for _, f := range debugType.Fields {
+			if !covered[f.Name] {
+				adv.Groups = append(adv.Groups, []string{f.Name})
+				adv.Offsets = append(adv.Offsets, nil)
+			}
+		}
+		// Positional names mean some sampled offsets hit padding or the
+		// size inference disagreed with debug info; the partition then
+		// is not guaranteed total over real fields.
+		for n := range covered {
+			if len(n) > 0 && n[0] == '+' {
+				complete = false
+			}
+		}
+		adv.Complete = complete
+	}
+	return adv
+}
+
+func streamReport(ip uint64, stat *profile.StreamStat, voted bool, off uint64, program *prog.Program, loops *cfg.ProgramLoops) StreamReport {
+	rep := StreamReport{
+		IP:         ip,
+		Stride:     stat.GCD,
+		Offset:     off,
+		Samples:    stat.Count,
+		LatencySum: stat.LatencySum,
+		VotedSize:  voted,
+	}
+	if file, line := program.LineOf(ip); file != "" {
+		rep.Where = fmt.Sprintf("%s:%d", file, line)
+	}
+	if li := loops.LoopOfIP(ip); li != nil {
+		rep.LoopName = li.Name()
+	}
+	return rep
+}

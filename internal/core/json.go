@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The JSON view is a stable, lean serialization of the report for
+// downstream tooling — e.g. the compiler passes the paper suggests
+// consuming StructSlim's output ("can be easily consumed by a compiler
+// pass such as ROSE to perform profile-guided data-layout optimization").
+
+type jsonReport struct {
+	Program      string          `json:"program"`
+	TotalLatency uint64          `json:"total_latency"`
+	NumSamples   uint64          `json:"num_samples"`
+	Threads      int             `json:"threads"`
+	OverheadPct  float64         `json:"overhead_pct"`
+	Ranking      []jsonRankEntry `json:"ranking"`
+	Structures   []jsonStructure `json:"structures"`
+}
+
+type jsonRankEntry struct {
+	Name     string  `json:"name"`
+	Ld       float64 `json:"ld"`
+	Latency  uint64  `json:"latency"`
+	Samples  uint64  `json:"samples"`
+	Analyzed bool    `json:"analyzed"`
+}
+
+type jsonStructure struct {
+	Name         string         `json:"name"`
+	TypeName     string         `json:"type,omitempty"`
+	Ld           float64        `json:"ld"`
+	InferredSize uint64         `json:"inferred_size"`
+	TrueSize     int            `json:"true_size,omitempty"`
+	NumObjects   int            `json:"num_objects"`
+	Fields       []jsonField    `json:"fields"`
+	Loops        []jsonLoop     `json:"loops"`
+	Affinities   []jsonAffinity `json:"affinities,omitempty"`
+	Advice       [][]string     `json:"advice,omitempty"`
+}
+
+type jsonField struct {
+	Name    string  `json:"name"`
+	Offset  uint64  `json:"offset"`
+	Share   float64 `json:"share"`
+	Latency uint64  `json:"latency"`
+	Samples uint64  `json:"samples"`
+	Writes  uint64  `json:"writes"`
+}
+
+type jsonLoop struct {
+	Name   string   `json:"name"`
+	Share  float64  `json:"share"`
+	Fields []string `json:"fields"`
+}
+
+type jsonAffinity struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Value float64 `json:"value"`
+}
+
+// WriteJSON serializes the report for tooling.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Program:      r.Program,
+		TotalLatency: r.TotalLatency,
+		NumSamples:   r.NumSamples,
+		Threads:      r.Threads,
+		OverheadPct:  r.OverheadPct,
+	}
+	for _, e := range r.Ranking {
+		out.Ranking = append(out.Ranking, jsonRankEntry{
+			Name: e.Name, Ld: e.Ld, Latency: e.LatencySum,
+			Samples: e.NumSamples, Analyzed: e.Analyzed,
+		})
+	}
+	for _, sr := range r.Structures {
+		js := jsonStructure{
+			Name:         sr.Name,
+			TypeName:     sr.TypeName,
+			Ld:           sr.Ld,
+			InferredSize: sr.InferredSize,
+			TrueSize:     sr.TrueSize,
+			NumObjects:   sr.NumObjects,
+		}
+		for _, f := range sr.Fields {
+			js.Fields = append(js.Fields, jsonField{
+				Name: f.Name, Offset: f.Offset, Share: f.Share,
+				Latency: f.LatencySum, Samples: f.Samples, Writes: f.Writes,
+			})
+		}
+		for _, l := range sr.Loops {
+			js.Loops = append(js.Loops, jsonLoop{
+				Name: l.Name, Share: l.Share, Fields: l.FieldNames,
+			})
+		}
+		if sr.Affinity != nil {
+			for _, e := range sr.Affinity.Edges {
+				if e.Value <= 0 {
+					continue
+				}
+				js.Affinities = append(js.Affinities, jsonAffinity{
+					A: sr.fieldName(e.OffA), B: sr.fieldName(e.OffB), Value: e.Value,
+				})
+			}
+		}
+		if sr.Advice != nil {
+			js.Advice = sr.Advice.FieldGroups()
+		}
+		out.Structures = append(out.Structures, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", Load: "load", Store: "store", Br: "br", GAddr: "gaddr",
+		Alloc: "alloc", FSqrt: "fsqrt", CvtFI: "cvtfi",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(63).String(); !strings.Contains(got, "63") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestIsMemAccess(t *testing.T) {
+	for op := Nop; op <= GAddr; op++ {
+		want := op == Load || op == Store
+		if got := op.IsMemAccess(); got != want {
+			t.Errorf("%s.IsMemAccess() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	terms := map[Op]bool{Jmp: true, Br: true, Ret: true, Halt: true}
+	for op := Nop; op <= GAddr; op++ {
+		if got := op.IsTerminator(); got != terms[op] {
+			t.Errorf("%s.IsTerminator() = %v, want %v", op, got, terms[op])
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{Eq, 3, 3, true}, {Eq, 3, 4, false},
+		{Ne, 3, 4, true}, {Ne, 3, 3, false},
+		{Lt, -1, 0, true}, {Lt, 0, 0, false},
+		{Le, 0, 0, true}, {Le, 1, 0, false},
+		{Gt, 5, 4, true}, {Gt, 4, 4, false},
+		{Ge, 4, 4, true}, {Ge, 3, 4, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%s.Eval(%d, %d) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCondEvalComplement(t *testing.T) {
+	// Eq/Ne, Lt/Ge, Le/Gt are complements for all inputs.
+	pairs := [][2]Cond{{Eq, Ne}, {Lt, Ge}, {Le, Gt}}
+	f := func(a, b int64) bool {
+		for _, p := range pairs {
+			if p[0].Eval(a, b) == p[1].Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	good := []Instr{
+		{Op: Load, Rd: 1, Rs1: 2, Size: 8},
+		{Op: Store, Rd: 1, Rs1: 2, Size: 1},
+		{Op: Br, Cmp: Lt, Rs1: 1, Rs2: 2, Target: 0},
+		{Op: Call, Fn: 3},
+		{Op: Nop},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", in.String(), err)
+		}
+	}
+	bad := []Instr{
+		{Op: Load, Rd: 1, Rs1: 2, Size: 3},
+		{Op: Load, Rd: 1, Rs1: 2, Size: 0},
+		{Op: Store, Rd: 1, Rs1: 2, Size: 16},
+		{Op: Br, Target: -1},
+		{Op: Call, Fn: -2},
+		{Op: Add, Rd: NumRegs},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestEffScale(t *testing.T) {
+	if got := (&Instr{Scale: 0}).EffScale(); got != 1 {
+		t.Errorf("EffScale(0) = %d, want 1", got)
+	}
+	if got := (&Instr{Scale: 24}).EffScale(); got != 24 {
+		t.Errorf("EffScale(24) = %d, want 24", got)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: MovI, Rd: 3, Imm: 42}, "movi r3, 42"},
+		{Instr{Op: Load, Rd: 1, Rs1: 2, Rs2: 3, Scale: 8, Disp: 16, Size: 8}, "load8 r1, [r2 + r3*8 + 16]"},
+		{Instr{Op: Store, Rd: 4, Rs1: 5, Size: 4}, "store4 [r5 + r0*1 + 0], r4"},
+		{Instr{Op: Br, Cmp: Ge, Rs1: 1, Rs2: 2, Target: 7}, "br.ge r1, r2, b7"},
+		{Instr{Op: GAddr, Rd: 2, Imm: 1}, "gaddr r2, g1"},
+		{Instr{Op: Halt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace()
+	cases := []struct {
+		addr uint64
+		size int
+		v    int64
+	}{
+		{0x1000, 1, 0x7f},
+		{0x1001, 2, 0x1234},
+		{0x1004, 4, -1},
+		{0x1008, 8, 0x1122334455667788},
+		{0x2000, 8, -42},
+	}
+	for _, c := range cases {
+		s.WriteInt(c.addr, c.size, c.v)
+		got := s.ReadInt(c.addr, c.size)
+		want := c.v
+		if c.size < 8 {
+			want = c.v & (1<<(8*c.size) - 1) // zero-extended readback
+		}
+		if got != want {
+			t.Errorf("ReadInt(%#x, %d) = %#x, want %#x", c.addr, c.size, got, want)
+		}
+	}
+}
+
+func TestReadWriteAcrossPageBoundary(t *testing.T) {
+	s := NewSpace()
+	addr := uint64(pageSize - 3) // 8-byte write straddles the page edge
+	s.WriteInt(addr, 8, 0x0807060504030201)
+	if got := s.ReadInt(addr, 8); got != 0x0807060504030201 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	// Byte-wise readback confirms little-endian placement on both pages.
+	if got := s.ReadInt(addr, 1); got != 0x01 {
+		t.Errorf("first byte = %#x", got)
+	}
+	if got := s.ReadInt(addr+7, 1); got != 0x08 {
+		t.Errorf("last byte = %#x", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	s := NewSpace()
+	if got := s.ReadInt(0xdeadbeef, 8); got != 0 {
+		t.Errorf("fresh memory reads %#x, want 0", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := NewSpace()
+	f := func(addr uint64, v int64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr %= 1 << 30 // keep the page map small
+		s.WriteInt(addr, size, v)
+		got := s.ReadInt(addr, size)
+		want := v
+		if size < 8 {
+			want = v & (1<<(8*size) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocStatic(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocStatic("A", 100, -1, 0)
+	b := s.AllocStatic("B", 64, 2, 1)
+	if a.Base < StaticBase {
+		t.Errorf("static base %#x below segment", a.Base)
+	}
+	if a.Base%allocAlign != 0 || b.Base%allocAlign != 0 {
+		t.Error("static objects not aligned")
+	}
+	if b.Base < a.Base+a.Size {
+		t.Error("statics overlap")
+	}
+	if a.Kind != StaticObj || a.Name != "A" || a.GlobalIx != 0 {
+		t.Errorf("static object fields wrong: %+v", a)
+	}
+	if b.TypeID != 2 {
+		t.Errorf("TypeID = %d", b.TypeID)
+	}
+}
+
+func TestAllocHeapContiguity(t *testing.T) {
+	s := NewSpace()
+	// Same-size allocations from the same site are contiguous up to
+	// alignment — the property stride analysis relies on for linked
+	// structures.
+	var prev *Object
+	for i := 0; i < 10; i++ {
+		o := s.AllocHeap(48, 0x400100, []uint64{0x400050}, -1)
+		if prev != nil {
+			if o.Base != prev.Base+48 {
+				t.Fatalf("allocation %d at %#x, want %#x (bump-pointer contiguity)",
+					i, o.Base, prev.Base+48)
+			}
+		}
+		prev = o
+	}
+}
+
+func TestHeapIdentityGrouping(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocHeap(48, 0x400100, []uint64{0x400050}, -1)
+	b := s.AllocHeap(48, 0x400100, []uint64{0x400050}, -1)
+	c := s.AllocHeap(48, 0x400100, []uint64{0x400060}, -1) // different call path
+	d := s.AllocHeap(48, 0x400200, []uint64{0x400050}, -1) // different site
+	if a.Identity != b.Identity {
+		t.Error("same call path produced different identities")
+	}
+	if a.Identity == c.Identity {
+		t.Error("different call paths share an identity")
+	}
+	if a.Identity == d.Identity {
+		t.Error("different alloc sites share an identity")
+	}
+	if a.Identity == 0 || c.Identity == 0 {
+		t.Error("identity must be nonzero")
+	}
+}
+
+func TestStaticIdentityStability(t *testing.T) {
+	s1 := NewSpace()
+	s2 := NewSpace()
+	a := s1.AllocStatic("zones", 100, -1, 0)
+	b := s2.AllocStatic("zones", 100, -1, 0)
+	if a.Identity != b.Identity {
+		t.Error("static identity not stable across spaces")
+	}
+	c := s1.AllocStatic("zones2", 100, -1, 1)
+	if a.Identity == c.Identity {
+		t.Error("different symbols share an identity")
+	}
+}
+
+func TestFindObject(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocStatic("A", 100, -1, 0)
+	h := s.AllocHeap(64, 0x400100, nil, -1)
+	cases := []struct {
+		addr uint64
+		want *Object
+	}{
+		{a.Base, a},
+		{a.Base + 99, a},
+		{a.Base + 100, nil},
+		{a.Base - 1, nil},
+		{h.Base, h},
+		{h.Base + 63, h},
+		{h.Base + 64, nil},
+		{0, nil},
+		{^uint64(0), nil},
+	}
+	for _, c := range cases {
+		if got := s.FindObject(c.addr); got != c.want {
+			t.Errorf("FindObject(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestFindObjectManyInterleaved(t *testing.T) {
+	s := NewSpace()
+	var objs []*Object
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			objs = append(objs, s.AllocStatic("g", 32, -1, i))
+		} else {
+			objs = append(objs, s.AllocHeap(32, uint64(0x400000+i*4), nil, -1))
+		}
+	}
+	for _, o := range objs {
+		mid := o.Base + o.Size/2
+		if got := s.FindObject(mid); got != o {
+			t.Fatalf("FindObject(%#x) = %v, want object %d", mid, got, o.ID)
+		}
+	}
+	if s.NumObjects() != 50 {
+		t.Errorf("NumObjects = %d", s.NumObjects())
+	}
+}
+
+func TestZeroSizeHeapAlloc(t *testing.T) {
+	s := NewSpace()
+	o := s.AllocHeap(0, 0x400100, nil, -1)
+	if o.Size == 0 {
+		t.Error("zero-size allocation should be bumped to 1 byte")
+	}
+	if got := s.FindObject(o.Base); got != o {
+		t.Error("zero-size object unfindable")
+	}
+}
+
+func TestObjKindString(t *testing.T) {
+	if StaticObj.String() != "static" || HeapObj.String() != "heap" {
+		t.Error("ObjKind strings wrong")
+	}
+}

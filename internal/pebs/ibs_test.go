@@ -1,0 +1,99 @@
+package pebs
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// driveInstrs feeds accesses whose Instrs counter advances by
+// instrsPerAccess each time, modeling a given memory-op density.
+func driveInstrs(s *Sampler, n int, instrsPerAccess uint64) {
+	var instrs uint64
+	for i := 0; i < n; i++ {
+		instrs += instrsPerAccess
+		ev := vm.MemEvent{
+			TID: 0, IP: 0x400100, EA: mem.StaticBase + uint64(i)*8,
+			Latency: 10, Level: 1, Cycle: uint64(i * 10), Instrs: instrs,
+		}
+		s.OnAccess(&ev)
+	}
+}
+
+func ibsConfig(period uint64) Config {
+	c := DefaultConfig()
+	c.Mode = ModeIBS
+	c.Period = period
+	c.Randomize = false
+	return c
+}
+
+func TestIBSDenseMemoryCode(t *testing.T) {
+	// Every instruction is a memory access: every tag converts, so the
+	// sample rate matches PEBS-LL's.
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	s := NewSampler(ibsConfig(100), space, 1)
+	driveInstrs(s, 10_000, 1)
+	if got := s.Profiles()[0].NumSamples; got != 100 {
+		t.Errorf("samples = %d, want 100", got)
+	}
+}
+
+func TestIBSSparseMemoryCodeLosesTags(t *testing.T) {
+	// One memory access per 10 instructions: ~90% of tags land on
+	// non-memory ops and are dropped, unlike PEBS-LL which always
+	// periods off memory accesses.
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+
+	ibs := NewSampler(ibsConfig(100), space, 1)
+	driveInstrs(ibs, 10_000, 10) // 100k instructions total
+	ibsSamples := ibs.Profiles()[0].NumSamples
+
+	pebs := NewSampler(fixedConfig(100), space, 1)
+	driveInstrs(pebs, 10_000, 10)
+	pebsSamples := pebs.Profiles()[0].NumSamples
+
+	if pebsSamples != 100 {
+		t.Fatalf("pebs samples = %d, want 100", pebsSamples)
+	}
+	// IBS fires 1000 tags over 100k instructions; ~10% hit the memory
+	// op (every 10th instruction) — expect ≈100 too, BUT only when the
+	// access pattern aligns. With instrs advancing by exactly 10 and
+	// period 100, tags at multiples of 100 always align. Use a
+	// misaligned period to expose tag loss.
+	misaligned := NewSampler(ibsConfig(103), space, 1)
+	driveInstrs(misaligned, 10_000, 10)
+	lost := misaligned.Profiles()[0].NumSamples
+	if lost >= ibsSamples {
+		t.Errorf("misaligned IBS should lose tags: %d vs %d", lost, ibsSamples)
+	}
+	if lost == 0 {
+		t.Error("misaligned IBS lost every tag; expected ~1 in 10 to hit memory ops")
+	}
+	_ = ibsSamples
+}
+
+func TestIBSModeString(t *testing.T) {
+	if ModeIBS.String() != "ibs" || ModePEBSLL.String() != "pebs-ll" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestIBSDeterministicWithRandomization(t *testing.T) {
+	run := func() uint64 {
+		space := mem.NewSpace()
+		space.AllocStatic("arr", 1<<20, -1, 0)
+		cfg := ibsConfig(64)
+		cfg.Randomize = true
+		cfg.Seed = 9
+		s := NewSampler(cfg, space, 1)
+		driveInstrs(s, 50_000, 3)
+		return s.Profiles()[0].NumSamples
+	}
+	if run() != run() {
+		t.Error("IBS sampling not deterministic per seed")
+	}
+}

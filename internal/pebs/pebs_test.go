@@ -1,0 +1,208 @@
+package pebs
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+func fixedConfig(period uint64) Config {
+	c := DefaultConfig()
+	c.Period = period
+	c.Randomize = false
+	return c
+}
+
+// drive pushes n synthetic accesses with the given stride through the
+// sampler for thread 0 and returns total charged overhead.
+func drive(s *Sampler, n int, base uint64, stride uint64, ip uint64, latency uint32) uint64 {
+	var overhead uint64
+	for i := 0; i < n; i++ {
+		ev := vm.MemEvent{
+			TID: 0, IP: ip, EA: base + uint64(i)*stride,
+			Latency: latency, Level: 1, Cycle: uint64(i * 10),
+		}
+		overhead += s.OnAccess(&ev)
+	}
+	return overhead
+}
+
+func TestSamplingRateFixedPeriod(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	s := NewSampler(fixedConfig(100), space, 1)
+	drive(s, 10_000, mem.StaticBase, 8, 0x400100, 10)
+	tp := s.Profiles()[0]
+	if tp.NumSamples != 100 {
+		t.Errorf("samples = %d, want exactly 100 at period 100", tp.NumSamples)
+	}
+}
+
+func TestSamplingRateRandomized(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	cfg := DefaultConfig()
+	cfg.Period = 100
+	cfg.Randomize = true
+	s := NewSampler(cfg, space, 1)
+	drive(s, 100_000, mem.StaticBase, 8, 0x400100, 10)
+	n := s.Profiles()[0].NumSamples
+	// Mean gap stays ≈ the period: expect 1000 ± 15%.
+	if n < 850 || n > 1150 {
+		t.Errorf("samples = %d, want ≈1000", n)
+	}
+}
+
+func TestRandomizedIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		space := mem.NewSpace()
+		space.AllocStatic("arr", 1<<20, -1, 0)
+		cfg := DefaultConfig()
+		cfg.Period = 64
+		cfg.Seed = seed
+		s := NewSampler(cfg, space, 1)
+		drive(s, 10_000, mem.StaticBase, 8, 0x400100, 10)
+		return s.Profiles()[0].NumSamples
+	}
+	if run(7) != run(7) {
+		t.Error("same seed, different sample count")
+	}
+}
+
+func TestSampleFieldsAndAttribution(t *testing.T) {
+	space := mem.NewSpace()
+	obj := space.AllocStatic("arr", 4096, -1, 0)
+	s := NewSampler(fixedConfig(10), space, 1)
+	drive(s, 100, obj.Base, 16, 0x400abc, 33)
+	tp := s.Profiles()[0]
+	if tp.NumSamples != 10 {
+		t.Fatalf("samples = %d", tp.NumSamples)
+	}
+	for _, sm := range tp.Samples {
+		if sm.IP != 0x400abc || sm.Latency != 33 || sm.ObjID != int32(obj.ID) {
+			t.Fatalf("sample fields wrong: %+v", sm)
+		}
+	}
+	// Stream stats: single stream, GCD = 16*period? Samples are 10
+	// accesses apart at stride 16 → deltas of 160.
+	key := profile.StreamKey{IP: 0x400abc, Identity: obj.Identity}
+	st := tp.Streams[key]
+	if st == nil {
+		t.Fatal("stream missing")
+	}
+	if st.GCD != 160 {
+		t.Errorf("online GCD = %d, want 160", st.GCD)
+	}
+}
+
+func TestUnattributedAddresses(t *testing.T) {
+	space := mem.NewSpace() // no objects at all
+	s := NewSampler(fixedConfig(1), space, 1)
+	drive(s, 5, 0xdead0000, 8, 0x400100, 10)
+	tp := s.Profiles()[0]
+	if tp.NumSamples != 5 {
+		t.Fatalf("samples = %d", tp.NumSamples)
+	}
+	for _, sm := range tp.Samples {
+		if sm.ObjID != -1 {
+			t.Errorf("unattributed sample got object %d", sm.ObjID)
+		}
+	}
+	// They still form a stream under identity 0.
+	if tp.Streams[profile.StreamKey{IP: 0x400100, Identity: 0}] == nil {
+		t.Error("identity-0 stream missing")
+	}
+}
+
+func TestOverheadCharging(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	cfg := fixedConfig(100)
+	cfg.InterruptCost = 2000
+	s := NewSampler(cfg, space, 1)
+	overhead := drive(s, 1000, mem.StaticBase, 8, 1, 10)
+	if overhead != 10*2000 {
+		t.Errorf("overhead = %d, want %d", overhead, 10*2000)
+	}
+}
+
+func TestSharedAttribContention(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	cfg := fixedConfig(100)
+	cfg.InterruptCost = 2000
+	cfg.SharedAttribCost = 500
+	// 4 threads: each sample costs 2000 + 3×500.
+	s := NewSampler(cfg, space, 4)
+	overhead := drive(s, 1000, mem.StaticBase, 8, 1, 10)
+	if overhead != 10*(2000+3*500) {
+		t.Errorf("overhead = %d, want %d", overhead, 10*(2000+3*500))
+	}
+}
+
+func TestMinLatencyFilter(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	cfg := fixedConfig(10)
+	cfg.MinLatency = 50
+	s := NewSampler(cfg, space, 1)
+	overhead := drive(s, 1000, mem.StaticBase, 8, 1, 10) // latency 10 < 50
+	tp := s.Profiles()[0]
+	if tp.NumSamples != 0 {
+		t.Errorf("filtered samples = %d, want 0", tp.NumSamples)
+	}
+	if overhead != 0 {
+		t.Errorf("filtered samples charged overhead %d", overhead)
+	}
+	drive(s, 1000, mem.StaticBase, 8, 1, 100) // latency 100 ≥ 50
+	if tp.NumSamples == 0 {
+		t.Error("above-threshold samples filtered")
+	}
+}
+
+func TestPerThreadIsolation(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 1<<20, -1, 0)
+	s := NewSampler(fixedConfig(10), space, 2)
+	for i := 0; i < 100; i++ {
+		ev := vm.MemEvent{TID: 1, IP: 7, EA: mem.StaticBase + uint64(i*8), Latency: 5, Cycle: uint64(i)}
+		s.OnAccess(&ev)
+	}
+	if got := s.Profiles()[0].NumSamples; got != 0 {
+		t.Errorf("thread 0 saw %d samples for thread 1's accesses", got)
+	}
+	if got := s.Profiles()[1].NumSamples; got != 10 {
+		t.Errorf("thread 1 samples = %d, want 10", got)
+	}
+}
+
+func TestFinishSnapshotsObjectsAndCycles(t *testing.T) {
+	space := mem.NewSpace()
+	space.AllocStatic("arr", 4096, 2, 0)
+	space.AllocHeap(64, 0x400100, []uint64{0x400050}, 3)
+	s := NewSampler(fixedConfig(10), space, 1)
+	drive(s, 50, mem.StaticBase, 8, 1, 10)
+	tps := s.Finish(vm.Stats{PerThread: []vm.ThreadStats{{Cycles: 500, OverheadCycles: 50, MemOps: 50}}})
+	if len(tps) != 1 {
+		t.Fatal("profiles missing")
+	}
+	tp := tps[0]
+	if len(tp.Objects) != 2 {
+		t.Fatalf("objects = %d, want 2", len(tp.Objects))
+	}
+	if !tp.Objects[1].Heap || tp.Objects[1].TypeID != 3 || tp.Objects[1].AllocIP != 0x400100 {
+		t.Errorf("heap snapshot wrong: %+v", tp.Objects[1])
+	}
+	if tp.AppCycles != 500 || tp.OverheadCycles != 50 || tp.MemOps != 50 {
+		t.Errorf("cycle accounts wrong: %+v", tp)
+	}
+}
+
+func TestZeroPeriodDefaults(t *testing.T) {
+	s := NewSampler(Config{}, mem.NewSpace(), 1)
+	if s.cfg.Period != DefaultConfig().Period {
+		t.Errorf("period = %d", s.cfg.Period)
+	}
+}

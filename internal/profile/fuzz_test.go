@@ -1,0 +1,75 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadThreadProfile: arbitrary bytes must never panic the profile
+// decoder — it either parses or errors.
+func FuzzReadThreadProfile(f *testing.F) {
+	// Seed with a valid profile and some mutations.
+	tp := NewThreadProfile(1, 5000)
+	tp.Add(Sample{TID: 1, IP: 0x400100, EA: 0x1000, Latency: 12}, 7)
+	var buf bytes.Buffer
+	if err := tp.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	if len(valid) > 10 {
+		f.Add(valid[:len(valid)/2])
+		trunc := append([]byte(nil), valid...)
+		trunc[8] ^= 0xff
+		f.Add(trunc)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadThreadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded profile must be internally usable.
+		if got.Streams == nil {
+			t.Fatal("decoded profile with nil stream map")
+		}
+		_, _ = MergeThreadProfiles([]*ThreadProfile{got})
+	})
+}
+
+// FuzzStreamObserve: any observation sequence keeps StreamStat sane —
+// GCD divides every pairwise delta seen.
+func FuzzStreamObserve(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		st := &StreamStat{}
+		addrs := make([]uint64, 0, len(data))
+		base := uint64(0x1000)
+		for _, b := range data {
+			ea := base + uint64(b)*8
+			st.Observe(ea, 1, false, 0)
+			addrs = append(addrs, ea)
+		}
+		if st.Count != uint64(len(data)) {
+			t.Fatalf("count %d != %d", st.Count, len(data))
+		}
+		if st.GCD == 0 {
+			return // fewer than two distinct addresses
+		}
+		for i := 1; i < len(addrs); i++ {
+			d := addrs[i] - addrs[i-1]
+			if addrs[i-1] > addrs[i] {
+				d = addrs[i-1] - addrs[i]
+			}
+			if d%st.GCD != 0 {
+				t.Fatalf("GCD %d does not divide delta %d", st.GCD, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeProcessProfiles combines merged profiles from *separate runs*
+// (processes). Unlike threads of one process, processes do not share an
+// object table: object IDs collide across runs, and heap objects live at
+// different addresses. Following the paper (Section 4.4), aggregation is
+// by data-centric identity — the symbol name for statics, the allocation
+// call path for heap objects — which is stable across processes of the
+// same binary.
+//
+// Samples keep per-process object references by remapping each process's
+// object IDs into a disjoint range; stream statistics merge by
+// (IP, context, identity) exactly as in the thread merge, with strides
+// combining by GCD. Wall-clock accounts are summed across processes
+// (processes run back to back in this model), memory ops are summed, and
+// the sampling period must agree.
+func MergeProcessProfiles(ps []*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("no profiles to merge")
+	}
+	out := &Profile{
+		Period:  ps[0].Period,
+		Streams: make(map[StreamKey]*StreamStat),
+	}
+	var idBase int32
+	for pi, p := range ps {
+		if p.Period != out.Period {
+			return nil, fmt.Errorf("process %d: period %d differs from %d", pi, p.Period, out.Period)
+		}
+		out.Threads += p.Threads
+		out.NumSamples += p.NumSamples
+		out.TotalLatency += p.TotalLatency
+		out.MemOps += p.MemOps
+		out.AppCycles += p.AppCycles
+		out.OverheadCycles += p.OverheadCycles
+
+		// Remap this process's object IDs into a fresh range starting at
+		// base.
+		base := idBase
+		var maxID int32 = -1
+		for _, oi := range p.Objects {
+			oi.ID += base
+			out.Objects = append(out.Objects, oi)
+			if oi.ID > maxID {
+				maxID = oi.ID
+			}
+		}
+		for _, s := range p.Samples {
+			if s.ObjID >= 0 {
+				s.ObjID += base
+			}
+			out.Samples = append(out.Samples, s)
+		}
+		for key, st := range p.Streams {
+			dst := out.Streams[key]
+			if dst == nil {
+				cp := *st
+				if cp.FirstObjID >= 0 {
+					cp.FirstObjID += base
+				}
+				out.Streams[key] = &cp
+				continue
+			}
+			mergeStream(dst, st)
+		}
+		if maxID >= idBase {
+			idBase = maxID + 1
+		}
+	}
+	sort.Slice(out.Objects, func(i, j int) bool { return out.Objects[i].ID < out.Objects[j].ID })
+	sort.Slice(out.Samples, func(i, j int) bool {
+		if out.Samples[i].Cycle != out.Samples[j].Cycle {
+			return out.Samples[i].Cycle < out.Samples[j].Cycle
+		}
+		return out.Samples[i].TID < out.Samples[j].TID
+	})
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package profile
+
+import "testing"
+
+// mkProcessProfile builds a merged single-thread profile as one "process"
+// would produce it: its own object table starting at ID 0.
+func mkProcessProfile(objIdent uint64, base uint64, eas []uint64) *Profile {
+	tp := NewThreadProfile(0, 10000)
+	tp.Objects = []ObjInfo{{ID: 0, Name: "arr", Base: base, Size: 1 << 20, Identity: objIdent}}
+	for i, ea := range eas {
+		tp.Add(Sample{TID: 0, IP: 0x400100, EA: ea, Latency: 10, Cycle: uint64(i * 100), ObjID: 0}, objIdent)
+	}
+	tp.AppCycles = 1000
+	tp.OverheadCycles = 10
+	tp.MemOps = uint64(len(eas))
+	p, _ := MergeThreadProfiles([]*ThreadProfile{tp})
+	return p
+}
+
+func TestMergeProcessProfiles(t *testing.T) {
+	// Two processes of the same binary: same identity, different heap
+	// bases, colliding object IDs.
+	p1 := mkProcessProfile(77, 0x40000000, []uint64{0x40000000, 0x40000030, 0x40000060})
+	p2 := mkProcessProfile(77, 0x50000000, []uint64{0x50000000, 0x50000020})
+
+	merged, err := MergeProcessProfiles([]*Profile{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumSamples != 5 || merged.Threads != 2 {
+		t.Errorf("header: %+v", merged)
+	}
+	// Object IDs are disjoint after remap and samples point at the right
+	// copies.
+	if len(merged.Objects) != 2 || merged.Objects[0].ID == merged.Objects[1].ID {
+		t.Fatalf("objects: %+v", merged.Objects)
+	}
+	for _, s := range merged.Samples {
+		obj := merged.ObjByID(s.ObjID)
+		if obj == nil {
+			t.Fatalf("sample's object %d missing", s.ObjID)
+		}
+		if s.EA < obj.Base || s.EA >= obj.Base+obj.Size {
+			t.Fatalf("sample EA %#x outside its object [%#x, +%d)", s.EA, obj.Base, obj.Size)
+		}
+	}
+	// The shared stream merged by identity: counts sum, strides GCD
+	// (0x30, 0x30... p1 deltas 0x30; p2 delta 0x20 → gcd 0x10).
+	st := merged.Streams[StreamKey{IP: 0x400100, Identity: 77}]
+	if st == nil {
+		t.Fatal("merged stream missing")
+	}
+	if st.Count != 5 {
+		t.Errorf("stream count = %d", st.Count)
+	}
+	if st.GCD != 0x10 {
+		t.Errorf("merged stride = %#x, want 0x10", st.GCD)
+	}
+	// Cross-process accounts: cycles sum (sequential processes).
+	if merged.AppCycles != 2000 || merged.OverheadCycles != 20 || merged.MemOps != 5 {
+		t.Errorf("accounts: %+v", merged)
+	}
+}
+
+func TestMergeProcessProfilesErrors(t *testing.T) {
+	if _, err := MergeProcessProfiles(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	p1 := mkProcessProfile(1, 0x1000, []uint64{0x1000})
+	p2 := mkProcessProfile(1, 0x1000, []uint64{0x1000})
+	p2.Period = 999
+	if _, err := MergeProcessProfiles([]*Profile{p1, p2}); err == nil {
+		t.Error("mixed periods accepted")
+	}
+}
+
+func TestMergeProcessProfilesUnattributed(t *testing.T) {
+	p1 := mkProcessProfile(5, 0x1000, []uint64{0x1000})
+	// An unattributed sample keeps ObjID -1 through the remap.
+	p1.Samples = append(p1.Samples, Sample{IP: 0x400100, EA: 0xdead, ObjID: -1, Cycle: 999})
+	p1.NumSamples++
+	p2 := mkProcessProfile(5, 0x2000, []uint64{0x2000})
+	merged, err := MergeProcessProfiles([]*Profile{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range merged.Samples {
+		if s.ObjID == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unattributed sample lost or remapped")
+	}
+}

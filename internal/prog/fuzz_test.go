@@ -1,0 +1,67 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzFinalize: arbitrary instruction streams assembled into a function
+// must either finalize cleanly or be rejected with an error — never
+// panic, and never produce an inconsistent IP index.
+func FuzzFinalize(f *testing.F) {
+	f.Add([]byte{byte(isa.MovI), 8, byte(isa.Halt)})
+	f.Add([]byte{byte(isa.Br), 0, byte(isa.Jmp), 1, byte(isa.Halt)})
+	f.Add([]byte{byte(isa.Load), 3, byte(isa.Halt), byte(isa.Nop)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 200 {
+			return
+		}
+		fn := &Func{ID: 0, Name: "f", File: "f.c"}
+		blk := &Block{ID: 0}
+		for i := 0; i+1 < len(data); i += 2 {
+			op := isa.Op(data[i] % 30)
+			arg := data[i+1]
+			in := isa.Instr{
+				Op:     op,
+				Rd:     isa.Reg(arg % isa.NumRegs),
+				Rs1:    isa.Reg((arg >> 1) % isa.NumRegs),
+				Rs2:    isa.Reg((arg >> 2) % isa.NumRegs),
+				Size:   []uint8{1, 2, 4, 8}[arg%4],
+				Scale:  arg % 16,
+				Target: int(arg % 8),
+				Fn:     int(arg % 4),
+				Imm:    int64(arg),
+			}
+			blk.Instrs = append(blk.Instrs, in)
+			if op.IsTerminator() {
+				fn.Blocks = append(fn.Blocks, blk)
+				blk = &Block{ID: len(fn.Blocks)}
+			}
+		}
+		if len(blk.Instrs) > 0 {
+			fn.Blocks = append(fn.Blocks, blk)
+		}
+		if len(fn.Blocks) == 0 {
+			return
+		}
+		p := &Program{Name: "fuzz", Funcs: []*Func{fn}}
+		if err := p.Finalize(); err != nil {
+			return // rejected, fine
+		}
+		// Accepted: the IP index must be total and self-consistent.
+		n := p.NumInstrs()
+		for i := 0; i < n; i++ {
+			ip := isa.TextBase + uint64(i)*isa.InstrBytes
+			loc, ok := p.Loc(ip)
+			if !ok {
+				t.Fatalf("accepted program missing IP %#x", ip)
+			}
+			in := &p.Funcs[loc.Fn].Blocks[loc.Block].Instrs[loc.Index]
+			if in.IP != ip {
+				t.Fatalf("IP index inconsistent at %#x", ip)
+			}
+		}
+	})
+}

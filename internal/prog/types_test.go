@@ -1,0 +1,253 @@
+package prog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRecordValidation(t *testing.T) {
+	if _, err := NewRecord(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRecord("r"); err == nil {
+		t.Error("no fields accepted")
+	}
+	if _, err := NewRecord("r", Field{Name: "a", Size: 4}, Field{Name: "a", Size: 4}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	if _, err := NewRecord("r", Field{Name: "a", Size: 0}); err == nil {
+		t.Error("zero-size field accepted")
+	}
+	if _, err := NewRecord("r", Field{Name: "", Size: 4}); err == nil {
+		t.Error("unnamed field accepted")
+	}
+	r, err := NewRecord("r", Field{Name: "a", Size: 4}, Field{Name: "b", Size: 8})
+	if err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	if r.FieldIndex("b") != 1 || r.FieldIndex("zz") != -1 {
+		t.Error("FieldIndex wrong")
+	}
+	if !reflect.DeepEqual(r.FieldNames(), []string{"a", "b"}) {
+		t.Errorf("FieldNames = %v", r.FieldNames())
+	}
+}
+
+// TestLayoutTSPTree checks offsets for the Olden TSP tree struct from the
+// paper: {int sz; double x, y; ptr left, right, next, prev} on a 64-bit
+// target: sz at 0, x at 8 (aligned), ..., size 56.
+func TestLayoutTSPTree(t *testing.T) {
+	rec := MustRecord("tree",
+		Field{Name: "sz", Size: 4},
+		Field{Name: "x", Size: 8, Float: true},
+		Field{Name: "y", Size: 8, Float: true},
+		Field{Name: "left", Size: 8},
+		Field{Name: "right", Size: 8},
+		Field{Name: "next", Size: 8},
+		Field{Name: "prev", Size: 8},
+	)
+	l := AoS(rec)
+	st := l.Structs[0]
+	wantOffsets := map[string]int{"sz": 0, "x": 8, "y": 16, "left": 24, "right": 32, "next": 40, "prev": 48}
+	for name, off := range wantOffsets {
+		if got := l.Place(name).Offset; got != off {
+			t.Errorf("offset(%s) = %d, want %d", name, got, off)
+		}
+	}
+	if st.Size != 56 {
+		t.Errorf("sizeof(tree) = %d, want 56", st.Size)
+	}
+	if st.Align != 8 {
+		t.Errorf("alignof(tree) = %d, want 8", st.Align)
+	}
+}
+
+// TestLayoutNNNeighbor checks the Rodinia NN record with a byte-array
+// field: {char entry[49]; double dist} → dist aligned to 8 at offset 56,
+// size 64 (one cache line, as in the paper).
+func TestLayoutNNNeighbor(t *testing.T) {
+	rec := MustRecord("neighbor",
+		Field{Name: "entry", Size: 49},
+		Field{Name: "dist", Size: 8, Float: true},
+	)
+	l := AoS(rec)
+	if got := l.Place("dist").Offset; got != 56 {
+		t.Errorf("offset(dist) = %d, want 56", got)
+	}
+	if got := l.Structs[0].Size; got != 64 {
+		t.Errorf("sizeof(neighbor) = %d, want 64", got)
+	}
+}
+
+func TestLayoutPaddingTail(t *testing.T) {
+	// {int8 a; double b; int8 c} → a@0, b@8, c@16, size 24 (tail padded).
+	rec := MustRecord("p",
+		Field{Name: "a", Size: 1},
+		Field{Name: "b", Size: 8},
+		Field{Name: "c", Size: 1},
+	)
+	st := AoS(rec).Structs[0]
+	if st.Size != 24 {
+		t.Errorf("size = %d, want 24", st.Size)
+	}
+	if f := st.FieldAt(16); f == nil || f.Name != "c" {
+		t.Errorf("FieldAt(16) = %v, want c", f)
+	}
+	if f := st.FieldAt(17); f != nil {
+		t.Errorf("FieldAt(padding) = %v, want nil", f)
+	}
+	if f := st.FieldAt(200); f != nil {
+		t.Errorf("FieldAt(out of range) = %v, want nil", f)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	rec := MustRecord("r",
+		Field{Name: "a", Size: 8}, Field{Name: "b", Size: 8}, Field{Name: "c", Size: 8},
+	)
+	if _, err := Split(rec, [][]string{{"a", "b"}}); err == nil {
+		t.Error("incomplete partition accepted")
+	}
+	if _, err := Split(rec, [][]string{{"a", "b"}, {"b", "c"}}); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	if _, err := Split(rec, [][]string{{"a", "zz"}, {"b", "c"}}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Split(rec, [][]string{{}, {"a", "b", "c"}}); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestSplitNormalization(t *testing.T) {
+	rec := MustRecord("r",
+		Field{Name: "a", Size: 8}, Field{Name: "b", Size: 8},
+		Field{Name: "c", Size: 8}, Field{Name: "d", Size: 8},
+	)
+	// Groups given out of order should normalize to declaration order.
+	l, err := Split(rec, [][]string{{"d", "b"}, {"c", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a", "c"}, {"b", "d"}}
+	if !reflect.DeepEqual(l.Groups, want) {
+		t.Errorf("normalized groups = %v, want %v", l.Groups, want)
+	}
+	if !l.IsSplit() || l.NumArrays() != 2 {
+		t.Error("split layout shape wrong")
+	}
+	// Struct names carry the group index.
+	if l.Structs[0].Name != "r_0" || l.Structs[1].Name != "r_1" {
+		t.Errorf("struct names = %s, %s", l.Structs[0].Name, l.Structs[1].Name)
+	}
+}
+
+func TestAoSIdentity(t *testing.T) {
+	rec := MustRecord("r", Field{Name: "a", Size: 4}, Field{Name: "b", Size: 4})
+	l := AoS(rec)
+	if l.IsSplit() {
+		t.Error("AoS claims to be split")
+	}
+	if l.Structs[0].Name != "r" {
+		t.Errorf("AoS struct name = %s, want r", l.Structs[0].Name)
+	}
+	if got := l.Stride("a"); got != 8 {
+		t.Errorf("stride = %d, want 8", got)
+	}
+}
+
+func TestPlacePanicsOnUnknownField(t *testing.T) {
+	rec := MustRecord("r", Field{Name: "a", Size: 4})
+	l := AoS(rec)
+	defer func() {
+		if recover() == nil {
+			t.Error("Place on unknown field did not panic")
+		}
+	}()
+	l.Place("nope")
+}
+
+func TestLayoutString(t *testing.T) {
+	rec := MustRecord("r", Field{Name: "a", Size: 8}, Field{Name: "b", Size: 8})
+	l, _ := Split(rec, [][]string{{"a"}, {"b"}})
+	if got := l.String(); got != "r{a | b}" {
+		t.Errorf("String = %q", got)
+	}
+	if s := l.Structs[0].String(); !strings.Contains(s, "a@0:8") {
+		t.Errorf("struct String = %q", s)
+	}
+}
+
+// Property: for any record, splitting into singleton groups preserves each
+// field's size and yields structs whose sizes are at least the field size.
+func TestSplitSingletonsProperty(t *testing.T) {
+	sizes := []int{1, 2, 4, 8, 16, 49}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 10 {
+			return true // skip degenerate shapes
+		}
+		fields := make([]Field, len(raw))
+		groups := make([][]string, len(raw))
+		for i, r := range raw {
+			name := string(rune('a' + i))
+			fields[i] = Field{Name: name, Size: sizes[int(r)%len(sizes)]}
+			groups[i] = []string{name}
+		}
+		rec, err := NewRecord("q", fields...)
+		if err != nil {
+			return false
+		}
+		l, err := Split(rec, groups)
+		if err != nil {
+			return false
+		}
+		for i, fl := range fields {
+			st := l.Structs[l.Place(fl.Name).Arr]
+			if st.Size < fl.Size {
+				return false
+			}
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offsets within any AoS layout are strictly increasing and
+// aligned, and the struct size is a multiple of its alignment.
+func TestAoSLayoutInvariants(t *testing.T) {
+	sizes := []int{1, 2, 4, 8, 12, 49}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		fields := make([]Field, len(raw))
+		for i, r := range raw {
+			fields[i] = Field{Name: string(rune('a' + i)), Size: sizes[int(r)%len(sizes)]}
+		}
+		rec, err := NewRecord("q", fields...)
+		if err != nil {
+			return false
+		}
+		st := AoS(rec).Structs[0]
+		prevEnd := 0
+		for _, pf := range st.Fields {
+			if pf.Offset < prevEnd {
+				return false
+			}
+			a := Field{Size: pf.Size}.Align()
+			if pf.Offset%a != 0 {
+				return false
+			}
+			prevEnd = pf.Offset + pf.Size
+		}
+		return st.Size%st.Align == 0 && st.Size >= prevEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package split applies StructSlim's advice: it turns an advised field
+// partition into a concrete physical layout (prog.PhysLayout) that a
+// workload can be rebuilt with. The paper performs this step by hand on
+// source code; automating it lets the benchmark harness measure the
+// advice's effect end to end.
+package split
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// LayoutFromGroups builds the split layout for a record from field-name
+// groups. Fields of the record not mentioned in any group are appended as
+// singleton groups (cold fields the profiler never sampled still need a
+// home — the paper gives ART's untouched field R its own struct). Unknown
+// field names are rejected.
+func LayoutFromGroups(rec *prog.RecordSpec, groups [][]string) (*prog.PhysLayout, error) {
+	covered := make(map[string]bool)
+	var cleaned [][]string
+	for _, g := range groups {
+		var cg []string
+		for _, name := range g {
+			if rec.FieldIndex(name) < 0 {
+				return nil, fmt.Errorf("advice names unknown field %q of %s", name, rec.Name)
+			}
+			if covered[name] {
+				return nil, fmt.Errorf("advice places field %q of %s in two groups", name, rec.Name)
+			}
+			covered[name] = true
+			cg = append(cg, name)
+		}
+		if len(cg) > 0 {
+			cleaned = append(cleaned, cg)
+		}
+	}
+	for _, f := range rec.Fields {
+		if !covered[f.Name] {
+			cleaned = append(cleaned, []string{f.Name})
+		}
+	}
+	return prog.Split(rec, cleaned)
+}
+
+// LayoutFromAdvice builds the split layout directly from an analyzer
+// report's advice. Positional field names ("+24") mean the analyzer
+// lacked debug info for some offsets; those cannot be mapped onto the
+// record and are rejected.
+func LayoutFromAdvice(rec *prog.RecordSpec, adv *core.SplitAdvice) (*prog.PhysLayout, error) {
+	if adv == nil {
+		return nil, fmt.Errorf("no advice for %s", rec.Name)
+	}
+	for _, g := range adv.Groups {
+		for _, name := range g {
+			if len(name) > 0 && name[0] == '+' {
+				return nil, fmt.Errorf("advice for %s contains unresolved offset %s", rec.Name, name)
+			}
+		}
+	}
+	return LayoutFromGroups(rec, adv.FieldGroups())
+}

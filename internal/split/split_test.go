@@ -1,0 +1,80 @@
+package split
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+func rec(t *testing.T) *prog.RecordSpec {
+	t.Helper()
+	return prog.MustRecord("r",
+		prog.Field{Name: "a", Size: 8},
+		prog.Field{Name: "b", Size: 8},
+		prog.Field{Name: "c", Size: 8},
+		prog.Field{Name: "d", Size: 8},
+	)
+}
+
+func TestLayoutFromGroupsCompletesColdFields(t *testing.T) {
+	l, err := LayoutFromGroups(rec(t), [][]string{{"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a,c grouped; b and d become singletons.
+	if l.NumArrays() != 3 {
+		t.Fatalf("arrays = %d, want 3 (%v)", l.NumArrays(), l)
+	}
+	if l.Place("a").Arr != l.Place("c").Arr {
+		t.Error("a and c not together")
+	}
+	if l.Place("b").Arr == l.Place("a").Arr || l.Place("b").Arr == l.Place("d").Arr {
+		t.Error("cold fields not singled out")
+	}
+}
+
+func TestLayoutFromGroupsValidation(t *testing.T) {
+	if _, err := LayoutFromGroups(rec(t), [][]string{{"a", "zz"}}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LayoutFromGroups(rec(t), [][]string{{"a"}, {"a", "b"}}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	// Empty groups are dropped silently.
+	l, err := LayoutFromGroups(rec(t), [][]string{{}, {"a", "b", "c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.IsSplit() {
+		t.Error("single full group should be the identity layout")
+	}
+}
+
+func TestLayoutFromAdvice(t *testing.T) {
+	adv := &core.SplitAdvice{
+		StructName: "r",
+		Groups:     [][]string{{"a", "c"}, {"b"}},
+	}
+	l, err := LayoutFromAdvice(rec(t), adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumArrays() != 3 { // {a,c} {b} {d-completed}
+		t.Errorf("arrays = %d (%v)", l.NumArrays(), l)
+	}
+}
+
+func TestLayoutFromAdviceRejectsUnresolvedOffsets(t *testing.T) {
+	adv := &core.SplitAdvice{
+		StructName: "r",
+		Groups:     [][]string{{"a", "+24"}},
+	}
+	if _, err := LayoutFromAdvice(rec(t), adv); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Errorf("positional advice accepted: %v", err)
+	}
+	if _, err := LayoutFromAdvice(rec(t), nil); err == nil {
+		t.Error("nil advice accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package workloads_test
+
+// Case studies beyond the paper: mcf's arc array (the canonical
+// structure-splitting target of the data-layout literature) and
+// streamcluster's Point. StructSlim must find the known splits.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestMCFArcSplit(t *testing.T) {
+	w, err := workloads.Get("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep := analyzeWorkload(t, w)
+	if res.Profile.NumSamples < 50 {
+		t.Fatalf("samples = %d", res.Profile.NumSamples)
+	}
+	sr := hotStruct(t, w, rep)
+	if sr.TrueSize != 48 || sr.InferredSize%48 != 0 || sr.InferredSize == 0 {
+		t.Errorf("arc size: true %d inferred %d", sr.TrueSize, sr.InferredSize)
+	}
+	// The pricing loop's fields stay together; flow and org_cost leave.
+	got := groupOf(t, sr, "cost")
+	if got != "cost,head,ident,tail" {
+		t.Errorf("hot group = {%s}, want {cost,head,ident,tail}", got)
+	}
+	for _, cold := range []string{"flow", "org_cost"} {
+		if strings.Contains(","+got+",", ","+cold+",") {
+			t.Errorf("cold field %s in the hot group", cold)
+		}
+	}
+	speedup, l1red := measureSpeedup(t, w, sr)
+	t.Logf("mcf: speedup %.3f×, L1 miss reduction %.1f%%", speedup, l1red)
+	if speedup < 1.05 {
+		t.Errorf("speedup = %.3f×, want ≥ 1.05×", speedup)
+	}
+}
+
+func TestStreamclusterPointSplit(t *testing.T) {
+	w, err := workloads.Get("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := analyzeWorkload(t, w)
+	sr := hotStruct(t, w, rep)
+	if sr.TrueSize != 56 {
+		t.Errorf("Point size = %d, want 56", sr.TrueSize)
+	}
+	// coord and weight scan together. The 32-byte coord block is touched
+	// at two offsets (0 and 24), which must resolve to the same field
+	// name and land in weight's group.
+	got := groupOf(t, sr, "weight")
+	if !strings.Contains(got, "coord") {
+		t.Errorf("weight's group = {%s}, want coord with it", got)
+	}
+	for _, cold := range []string{"assign", "cost"} {
+		if strings.Contains(","+got+",", ","+cold+",") {
+			t.Errorf("cold field %s in the scan group", cold)
+		}
+	}
+	speedup, l1red := measureSpeedup(t, w, sr)
+	t.Logf("streamcluster: speedup %.3f×, L1 miss reduction %.1f%%", speedup, l1red)
+	if speedup < 1.05 {
+		t.Errorf("speedup = %.3f×, want ≥ 1.05×", speedup)
+	}
+}

@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Bespoke SPEC CPU 2006 kernels, matching the real programs' data
+// structures: lbm's multi-population lattice and hmmer's Viterbi dynamic
+// program. Like the Rodinia bespoke kernels they carry no array of
+// structs (lbm's populations are already split into planes, which is why
+// the real lbm is a SoA poster child).
+
+func init() {
+	register(bespokeKernel{
+		name: "lbm", suite: SpecSuite,
+		desc:  "Lattice Boltzmann fluid simulation",
+		build: buildLBM,
+	})
+	register(bespokeKernel{
+		name: "hmmer", suite: SpecSuite,
+		desc:  "Profile HMM sequence search",
+		build: buildHMMER,
+	})
+}
+
+// buildLBM: a D2Q5 lattice: five population planes (center + 4
+// directions); each time step streams neighbours and collides toward
+// local equilibrium.
+func buildLBM(s Scale) (*prog.Program, []Phase, error) {
+	rows, cols := int64(96), int64(256)
+	steps := int64(5)
+	if s == ScaleBench {
+		rows, cols, steps = 256, 512, 8
+	}
+	n := rows * cols
+
+	b := prog.NewBuilder("lbm")
+	planes := make([]int, 5)
+	names := []string{"fC", "fN", "fS", "fE", "fW"}
+	for d := range planes {
+		planes[d] = b.Global(names[d], n*8, -1)
+	}
+	outG := b.Global("fOut", n*8, -1)
+
+	main := b.Func("main", "lbm.c")
+	pr := make([]isa.Reg, 5)
+	for d := range pr {
+		pr[d] = b.R()
+		b.GAddr(pr[d], planes[d])
+	}
+	out := b.R()
+	b.GAddr(out, outG)
+
+	i, x := b.R(), b.R()
+	b.AtLine(20)
+	b.ForRange(i, 0, n, 1, func() {
+		b.CvtIF(x, i)
+		for d := range pr {
+			b.Store(x, pr[d], i, 8, 0, 8)
+		}
+	})
+
+	// Stream + collide (lbm.c:186-200): each site gathers the four
+	// neighbour populations and relaxes toward their mean.
+	step, r, c, idx, acc, v := b.R(), b.R(), b.R(), b.R(), b.R(), b.R()
+	b.AtLine(186)
+	b.ForRange(step, 0, steps, 1, func() {
+		b.AtLine(186)
+		b.ForRange(r, 1, rows-1, 1, func() {
+			b.AtLine(188)
+			b.ForRange(c, 1, cols-1, 1, func() {
+				b.AtLine(190)
+				b.MulI(idx, r, cols)
+				b.Add(idx, idx, c)
+				b.Load(acc, pr[0], idx, 8, 0, 8)
+				b.Load(v, pr[1], idx, 8, -cols*8, 8) // from north
+				b.FAdd(acc, acc, v)
+				b.Load(v, pr[2], idx, 8, cols*8, 8) // from south
+				b.FAdd(acc, acc, v)
+				b.Load(v, pr[3], idx, 8, -8, 8) // from east cell
+				b.FAdd(acc, acc, v)
+				b.Load(v, pr[4], idx, 8, 8, 8) // from west cell
+				b.FAdd(acc, acc, v)
+				b.FMul(acc, acc, acc)
+				b.Store(acc, out, idx, 8, 0, 8)
+			})
+		})
+		// Write the collided values back into the center plane.
+		b.ForRange(i, 0, n, 1, func() {
+			b.Load(v, out, i, 8, 0, 8)
+			b.Store(v, pr[0], i, 8, 0, 8)
+		})
+	})
+	b.Halt()
+	b.SetEntry(main)
+
+	p, err := b.Program()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, seqPhase(main), nil
+}
+
+// buildHMMER: the P7Viterbi inner loop shape: three DP rows (match,
+// insert, delete) updated per sequence position against model scores,
+// with running maxima.
+func buildHMMER(s Scale) (*prog.Program, []Phase, error) {
+	states := int64(256)
+	seqLen := int64(512)
+	if s == ScaleBench {
+		states, seqLen = 512, 2048
+	}
+
+	b := prog.NewBuilder("hmmer")
+	mG := b.Global("mmx", states*8, -1)
+	iG := b.Global("imx", states*8, -1)
+	dG := b.Global("dmx", states*8, -1)
+	tsG := b.Global("tsc", states*8, -1) // transition scores
+	msG := b.Global("msc", states*8, -1) // match scores
+
+	main := b.Func("main", "fast_algorithms.c")
+	mm, im, dm, ts, ms := b.R(), b.R(), b.R(), b.R(), b.R()
+	b.GAddr(mm, mG)
+	b.GAddr(im, iG)
+	b.GAddr(dm, dG)
+	b.GAddr(ts, tsG)
+	b.GAddr(ms, msG)
+
+	k, x := b.R(), b.R()
+	b.AtLine(20)
+	b.ForRange(k, 0, states, 1, func() {
+		b.Store(k, ts, k, 8, 0, 8)
+		b.Store(k, ms, k, 8, 0, 8)
+		b.Store(isa.RZ, mm, k, 8, 0, 8)
+		b.Store(isa.RZ, im, k, 8, 0, 8)
+		b.Store(isa.RZ, dm, k, 8, 0, 8)
+	})
+
+	// P7Viterbi main DP (fast_algorithms.c:133-148): for each residue,
+	// sweep the model states updating M/I/D with maxima.
+	pos, mv, iv2, dv, tv, best := b.R(), b.R(), b.R(), b.R(), b.R(), b.R()
+	b.AtLine(133)
+	b.ForRange(pos, 0, seqLen, 1, func() {
+		b.AtLine(133)
+		b.ForRange(k, 1, states, 1, func() {
+			b.AtLine(135)
+			b.Load(mv, mm, k, 8, -8, 8) // mmx[k-1]
+			b.Load(tv, ts, k, 8, 0, 8)
+			b.Add(mv, mv, tv)
+			b.Load(iv2, im, k, 8, -8, 8)
+			b.Load(dv, dm, k, 8, -8, 8)
+			b.Mov(best, mv)
+			b.If(isa.Gt, iv2, best, func() { b.Mov(best, iv2) }, nil)
+			b.If(isa.Gt, dv, best, func() { b.Mov(best, dv) }, nil)
+			b.Load(x, ms, k, 8, 0, 8)
+			b.Add(best, best, x)
+			b.Store(best, mm, k, 8, 0, 8)
+			// Insert/delete updates.
+			b.Add(iv2, best, tv)
+			b.Store(iv2, im, k, 8, 0, 8)
+			b.Add(dv, best, x)
+			b.Store(dv, dm, k, 8, 0, 8)
+		})
+	})
+	b.Halt()
+	b.SetEntry(main)
+
+	p, err := b.Program()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, seqPhase(main), nil
+}

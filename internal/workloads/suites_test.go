@@ -1,0 +1,87 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func TestSuiteRosters(t *testing.T) {
+	rodinia := workloads.BySuite(workloads.RodiniaSuite)
+	spec := workloads.BySuite(workloads.SpecSuite)
+	// 14 stand-ins + nn for Rodinia; 14 stand-ins + libquantum for SPEC.
+	if len(rodinia) != 15 {
+		t.Errorf("Rodinia roster = %d, want 15", len(rodinia))
+	}
+	if len(spec) != 15 {
+		t.Errorf("SPEC roster = %d, want 15", len(spec))
+	}
+	foundNN, foundLQ := false, false
+	for _, w := range rodinia {
+		if w.Name() == "nn" {
+			foundNN = true
+		}
+	}
+	for _, w := range spec {
+		if w.Name() == "libquantum" {
+			foundLQ = true
+		}
+	}
+	if !foundNN || !foundLQ {
+		t.Error("paper workloads missing from their suites")
+	}
+}
+
+// TestSuiteKernelsRunAndProfileClean runs every stand-in at test scale
+// under the profiler: they must execute, produce samples, and — having no
+// array-of-structs — must not fabricate splitting advice with multiple
+// hot groups.
+func TestSuiteKernelsRunAndProfileClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep is slow")
+	}
+	opt := structslim.Options{SamplePeriod: 10_000, Seed: 5}
+	for _, w := range workloads.All() {
+		if w.Record() != nil {
+			continue // paper workloads are covered elsewhere
+		}
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, rep, err := structslim.ProfileAndAnalyze(p, phases, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Profile.NumSamples == 0 {
+				t.Fatal("no samples collected")
+			}
+			if got := res.Stats.OverheadPct(); got <= 0 || got > 40 {
+				t.Errorf("overhead = %.2f%%, implausible", got)
+			}
+			// Plain word arrays: any advice must be single-group (no
+			// split) — unit-stride or irregular streams give the GCD
+			// algorithm nothing to split.
+			for _, sr := range rep.Structures {
+				if sr.Advice != nil && len(sr.Advice.Groups) > 2 {
+					t.Errorf("structure %s: fabricated %d-way split: %v",
+						sr.Name, len(sr.Advice.Groups), sr.Advice.Groups)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteKernelRejectsLayout: stand-ins have no record and refuse one.
+func TestSuiteKernelRejectsLayout(t *testing.T) {
+	w, err := workloads.Get("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Record() != nil {
+		t.Fatal("hotspot should have no record")
+	}
+}

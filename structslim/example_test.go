@@ -1,0 +1,78 @@
+package structslim_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/structslim"
+)
+
+// Example reproduces the paper's Figure 1 in a dozen lines: build the
+// motivating program, profile it with address sampling, and print the
+// structure-splitting advice.
+func Example() {
+	record := prog.MustRecord("type",
+		prog.Field{Name: "a", Size: 4},
+		prog.Field{Name: "b", Size: 4},
+		prog.Field{Name: "c", Size: 4},
+		prog.Field{Name: "d", Size: 4},
+	)
+	program := buildExample(prog.AoS(record))
+
+	_, report, err := structslim.ProfileAndAnalyze(program, nil, structslim.Options{
+		SamplePeriod: 500,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := structslim.FindStruct(report, "type")
+	for _, group := range hot.Advice.FieldGroups() {
+		fmt.Println(strings.Join(group, ","))
+	}
+	// Output:
+	// a,c
+	// b,d
+}
+
+// buildExample lowers Figure 1's two loops against a layout.
+func buildExample(l *prog.PhysLayout) *prog.Program {
+	const n = 4096
+	b := prog.NewBuilder("figure1")
+	tids := b.RegisterLayout(l)
+	arrG := make([]int, l.NumArrays())
+	for ai := range arrG {
+		arrG[ai] = b.Global("Arr."+l.Structs[ai].Name, n*int64(l.Structs[ai].Size), tids[ai])
+	}
+	b.Func("main", "figure1.c")
+	bases := make([]isa.Reg, l.NumArrays())
+	for ai := range bases {
+		bases[ai] = b.R()
+		b.GAddr(bases[ai], arrG[ai])
+	}
+	i, x, y, rep := b.R(), b.R(), b.R(), b.R()
+	b.ForRange(i, 0, n, 1, func() {
+		for _, f := range []string{"a", "b", "c", "d"} {
+			b.StoreField(i, l, bases, i, f)
+		}
+	})
+	b.ForRange(rep, 0, 20, 1, func() {
+		b.AtLine(4)
+		b.ForRange(i, 0, n, 1, func() {
+			b.LoadField(x, l, bases, i, "a")
+			b.LoadField(y, l, bases, i, "c")
+			b.Add(x, x, y)
+		})
+		b.AtLine(8)
+		b.ForRange(i, 0, n, 1, func() {
+			b.LoadField(x, l, bases, i, "b")
+			b.LoadField(y, l, bases, i, "d")
+			b.Add(x, x, y)
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}

@@ -1,0 +1,294 @@
+package structslim_test
+
+// End-to-end test on the paper's Figure 1 program: an array of
+// struct {int a, b, c, d}; one loop reads a and c, another reads b and d.
+// StructSlim must (1) find the array among the hot data, (2) infer the
+// 16-byte structure size from sparse samples, (3) attribute the two loops
+// to the right field pairs, (4) compute affinities A(a,c)=A(b,d)=1 and
+// A(a,b)=0, and (5) advise the {a,c} | {b,d} split — and the split
+// program must actually run faster on the simulated machine.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/vm"
+	"repro/structslim"
+)
+
+// figure1Record is the paper's struct type.
+func figure1Record() *prog.RecordSpec {
+	return prog.MustRecord("type",
+		prog.Field{Name: "a", Size: 4},
+		prog.Field{Name: "b", Size: 4},
+		prog.Field{Name: "c", Size: 4},
+		prog.Field{Name: "d", Size: 4},
+	)
+}
+
+// buildFigure1 lowers the Figure 1 program against a layout. N array
+// elements, `reps` repetitions of the two-loop sequence so the sampler
+// sees enough of each stream.
+func buildFigure1(l *prog.PhysLayout, n, reps int64) *prog.Program {
+	b := prog.NewBuilder("figure1")
+	tids := b.RegisterLayout(l)
+
+	// One global array per physical struct, plus output arrays B and C.
+	arrG := make([]int, l.NumArrays())
+	for ai := 0; ai < l.NumArrays(); ai++ {
+		arrG[ai] = b.Global("Arr."+l.Structs[ai].Name, n*int64(l.Structs[ai].Size), tids[ai])
+	}
+	bG := b.Global("B", n*4, -1)
+	cG := b.Global("C", n*4, -1)
+
+	b.Func("main", "figure1.c")
+	bases := make([]isa.Reg, l.NumArrays())
+	for ai := range bases {
+		bases[ai] = b.R()
+		b.GAddr(bases[ai], arrG[ai])
+	}
+	bBase, cBase := b.R(), b.R()
+	b.GAddr(bBase, bG)
+	b.GAddr(cBase, cG)
+
+	rep, i, x, y := b.R(), b.R(), b.R(), b.R()
+	b.ForRange(rep, 0, reps, 1, func() {
+		// for (i = 0; i < N; i++) B[i] = Arr[i].a + Arr[i].c;
+		b.AtLine(4)
+		b.ForRange(i, 0, n, 1, func() {
+			b.AtLine(5)
+			b.LoadField(x, l, bases, i, "a")
+			b.LoadField(y, l, bases, i, "c")
+			b.Add(x, x, y)
+			b.Store(x, bBase, i, 4, 0, 4)
+		})
+		// for (i = 0; i < N; i++) C[i] = Arr[i].b + Arr[i].d;
+		b.AtLine(8)
+		b.ForRange(i, 0, n, 1, func() {
+			b.AtLine(9)
+			b.LoadField(x, l, bases, i, "b")
+			b.LoadField(y, l, bases, i, "d")
+			b.Add(x, x, y)
+			b.Store(x, cBase, i, 4, 0, 4)
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func figure1Options() structslim.Options {
+	return structslim.Options{
+		SamplePeriod: 2000,
+		Seed:         7,
+		Analysis:     core.Options{TopK: 3},
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	rec := figure1Record()
+	aos := prog.AoS(rec)
+	if aos.Structs[0].Size != 16 {
+		t.Fatalf("AoS size = %d, want 16", aos.Structs[0].Size)
+	}
+	p := buildFigure1(aos, 32768, 10)
+
+	res, rep, err := structslim.ProfileAndAnalyze(p, nil, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.NumSamples < 100 {
+		t.Fatalf("too few samples: %d", res.Profile.NumSamples)
+	}
+
+	sr := structslim.FindStruct(rep, "type")
+	if sr == nil {
+		var names []string
+		for _, s := range rep.Structures {
+			names = append(names, s.Name)
+		}
+		t.Fatalf("struct 'type' not among analyzed structures %v", names)
+	}
+
+	// (2) Structure size recovered from samples.
+	if sr.InferredSize != 16 {
+		t.Errorf("inferred size = %d, want 16", sr.InferredSize)
+	}
+	if sr.TrueSize != 16 {
+		t.Errorf("true size = %d, want 16", sr.TrueSize)
+	}
+
+	// (3) All four fields seen, at the right offsets.
+	wantFields := map[uint64]string{0: "a", 4: "b", 8: "c", 12: "d"}
+	if len(sr.Fields) != 4 {
+		t.Fatalf("fields = %+v, want 4", sr.Fields)
+	}
+	for _, f := range sr.Fields {
+		if wantFields[f.Offset] != f.Name {
+			t.Errorf("field at %d = %s, want %s", f.Offset, f.Name, wantFields[f.Offset])
+		}
+	}
+
+	// (3b) Two loops, each touching its pair.
+	var pairs []string
+	for _, lr := range sr.Loops {
+		if lr.Loop == nil {
+			continue
+		}
+		pairs = append(pairs, strings.Join(lr.FieldNames, ","))
+	}
+	joined := strings.Join(pairs, " ")
+	if !strings.Contains(joined, "a,c") || !strings.Contains(joined, "b,d") {
+		t.Errorf("loop field sets = %v, want a,c and b,d", pairs)
+	}
+
+	// (4) Affinities.
+	if got := sr.Affinity.Affinity(0, 8); got < 0.99 {
+		t.Errorf("A(a,c) = %v, want 1", got)
+	}
+	if got := sr.Affinity.Affinity(4, 12); got < 0.99 {
+		t.Errorf("A(b,d) = %v, want 1", got)
+	}
+	if got := sr.Affinity.Affinity(0, 4); got > 0.01 {
+		t.Errorf("A(a,b) = %v, want 0", got)
+	}
+
+	// (5) Advice: exactly {a,c} and {b,d}.
+	if sr.Advice == nil || !sr.Advice.Complete {
+		t.Fatalf("advice missing or incomplete: %+v", sr.Advice)
+	}
+	groups := sr.Advice.FieldGroups()
+	if len(groups) != 2 {
+		t.Fatalf("advice groups = %v, want 2", groups)
+	}
+	got := []string{strings.Join(groups[0], ","), strings.Join(groups[1], ",")}
+	if got[0] != "a,c" || got[1] != "b,d" {
+		t.Errorf("advice = %v, want [a,c b,d]", got)
+	}
+}
+
+func TestFigure1SplitRunsFaster(t *testing.T) {
+	rec := figure1Record()
+	opt := figure1Options()
+
+	// Profile the original, derive the split layout from the advice.
+	orig := buildFigure1(prog.AoS(rec), 32768, 10)
+	_, rep, err := structslim.ProfileAndAnalyze(orig, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := structslim.FindStruct(rep, "type")
+	if sr == nil {
+		t.Fatal("struct not found")
+	}
+	splitLayout, err := structslim.Optimize(rec, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !splitLayout.IsSplit() || splitLayout.NumArrays() != 2 {
+		t.Fatalf("split layout = %v", splitLayout)
+	}
+
+	// Measure both versions unprofiled.
+	base, err := structslim.Run(buildFigure1(prog.AoS(rec), 32768, 10), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := structslim.Run(buildFigure1(splitLayout, 32768, 10), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base.AppWallCycles) / float64(improved.AppWallCycles)
+	if speedup < 1.05 {
+		t.Errorf("split speedup = %.3f×, want > 1.05× (orig %d vs split %d cycles)",
+			speedup, base.AppWallCycles, improved.AppWallCycles)
+	}
+	// Each loop touches half the bytes per element after the split, so
+	// L1 misses on the array drop substantially.
+	if improved.Cache.Level("L1").Misses >= base.Cache.Level("L1").Misses {
+		t.Errorf("L1 misses did not drop: %d → %d",
+			base.Cache.Level("L1").Misses, improved.Cache.Level("L1").Misses)
+	}
+}
+
+func TestFigure1Rendering(t *testing.T) {
+	rec := figure1Record()
+	p := buildFigure1(prog.AoS(rec), 2048, 20)
+	_, rep, err := structslim.ProfileAndAnalyze(p, nil, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	rep.RenderText(&txt)
+	out := txt.String()
+	for _, want := range []string{"Hot data structures", "type", "Splitting advice", "struct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q\n%s", want, out)
+		}
+	}
+	sr := structslim.FindStruct(rep, "type")
+	var dot bytes.Buffer
+	sr.WriteDot(&dot)
+	d := dot.String()
+	for _, want := range []string{"graph affinity", "subgraph cluster_0", "--", "label"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot output missing %q\n%s", want, d)
+		}
+	}
+}
+
+func TestOverheadIsSmall(t *testing.T) {
+	// With the paper's 10k period the measured overhead must land in the
+	// single digits; with a 100× denser period it must be much larger.
+	rec := figure1Record()
+	p := buildFigure1(prog.AoS(rec), 32768, 10)
+	res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 10_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := res.Stats.OverheadPct()
+	if light <= 0 || light > 15 {
+		t.Errorf("overhead at period 10k = %.2f%%, want low single digits", light)
+	}
+	p2 := buildFigure1(prog.AoS(rec), 32768, 10)
+	res2, err := structslim.ProfileRun(p2, nil, structslim.Options{SamplePeriod: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy := res2.Stats.OverheadPct(); heavy < light*10 {
+		t.Errorf("dense sampling overhead %.2f%% should dwarf sparse %.2f%%", heavy, light)
+	}
+}
+
+func TestRunDefaultsToEntry(t *testing.T) {
+	rec := figure1Record()
+	p := buildFigure1(prog.AoS(rec), 128, 1)
+	st, err := structslim.Run(p, nil, structslim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instrs == 0 {
+		t.Error("no instructions executed")
+	}
+}
+
+func TestAnalyzeNilResult(t *testing.T) {
+	if _, err := structslim.Analyze(nil, nil, structslim.Options{}); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestExplicitPhases(t *testing.T) {
+	rec := figure1Record()
+	p := buildFigure1(prog.AoS(rec), 512, 2)
+	st, err := structslim.Run(p, []structslim.Phase{{vm.ThreadSpec{Fn: p.EntryFn}}}, structslim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instrs == 0 {
+		t.Error("no instructions executed")
+	}
+}

@@ -1,0 +1,81 @@
+package structslim_test
+
+// Multi-process profiling end to end (paper Section 4.4: "multiple
+// threads or/and processes"): two independent runs of the same binary
+// produce two merged profiles with incompatible object tables; the
+// process-level merge aggregates them by data-centric identity and the
+// analysis still lands the same advice, now backed by both runs'
+// samples.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func TestMultiProcessMergeEndToEnd(t *testing.T) {
+	w, err := workloads.Get("clomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := structslim.Options{SamplePeriod: 3000, Analysis: core.Options{TopK: 3}}
+
+	runProcess := func(seed uint64) (*profile.Profile, int64) {
+		p, phases, err := w.Build(nil, workloads.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opt
+		o.Seed = seed
+		res, err := structslim.ProfileRun(p, phases, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile, int64(res.Profile.NumSamples)
+	}
+
+	prof1, n1 := runProcess(1)
+	prof2, n2 := runProcess(2)
+	merged, err := profile.MergeProcessProfiles([]*profile.Profile{prof1, prof2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(merged.NumSamples) != n1+n2 {
+		t.Fatalf("merged samples = %d, want %d", merged.NumSamples, n1+n2)
+	}
+
+	// Analyze against a fresh build of the binary (same program text).
+	p, _, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(merged, p, opt.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := structslim.FindStruct(rep, "_Zone")
+	if sr == nil {
+		t.Fatal("_Zone lost in process merge")
+	}
+	if sr.InferredSize != 24 {
+		t.Errorf("inferred size = %d, want 24", sr.InferredSize)
+	}
+	if sr.NumObjects < 2 {
+		t.Errorf("aggregated objects = %d, want both processes' pools", sr.NumObjects)
+	}
+	var hot string
+	for _, g := range sr.Advice.Groups {
+		for _, f := range g {
+			if f == "value" {
+				hot = strings.Join(g, ",")
+			}
+		}
+	}
+	if hot != "value,nextZone" {
+		t.Errorf("merged advice hot group = {%s}, want {value,nextZone}", hot)
+	}
+}

@@ -1,0 +1,137 @@
+package structslim_test
+
+// Ablation: field reordering versus structure splitting. A 128-byte
+// record whose hot loop reads two fields at opposite ends (f0 and f15)
+// touches two cache lines per element. Reordering the two hot fields
+// adjacent halves the line traffic; splitting them into their own
+// 16-byte struct cuts it 8×. This is the quantified version of the
+// paper's implicit argument for splitting over cheaper layout fixes.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/structslim"
+)
+
+func wideRecord() *prog.RecordSpec {
+	fields := make([]prog.Field, 16)
+	for i := range fields {
+		fields[i] = prog.Field{Name: fieldName(i), Size: 8}
+	}
+	return prog.MustRecord("wide", fields...)
+}
+
+func fieldName(i int) string { return string(rune('a' + i)) }
+
+func buildWide(l *prog.PhysLayout, n, reps int64) *prog.Program {
+	b := prog.NewBuilder("wide")
+	tids := b.RegisterLayout(l)
+	arrG := make([]int, l.NumArrays())
+	for ai := range arrG {
+		arrG[ai] = b.Global("arr."+l.Structs[ai].Name, n*int64(l.Structs[ai].Size), tids[ai])
+	}
+	b.Func("main", "w.c")
+	bases := make([]isa.Reg, l.NumArrays())
+	for ai := range bases {
+		bases[ai] = b.R()
+		b.GAddr(bases[ai], arrG[ai])
+	}
+	i, x, y, rep := b.R(), b.R(), b.R(), b.R()
+	// init all fields
+	b.AtLine(5)
+	b.ForRange(i, 0, n, 1, func() {
+		for f := 0; f < 16; f++ {
+			b.StoreField(i, l, bases, i, fieldName(f))
+		}
+	})
+	// hot loop: first and last declared fields together
+	b.AtLine(10)
+	b.ForRange(rep, 0, reps, 1, func() {
+		b.ForRange(i, 0, n, 1, func() {
+			b.AtLine(11)
+			b.LoadField(x, l, bases, i, fieldName(0))
+			b.LoadField(y, l, bases, i, fieldName(15))
+			b.Add(x, x, y)
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestReorderVersusSplit(t *testing.T) {
+	rec := wideRecord()
+	const n, reps = 16384, 8
+	opt := structslim.Options{}
+
+	cycles := func(l *prog.PhysLayout) uint64 {
+		st, err := structslim.Run(buildWide(l, n, reps), nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.AppWallCycles
+	}
+
+	base := cycles(prog.AoS(rec))
+
+	// Reorder: hot fields first, everything else after.
+	order := []string{fieldName(0), fieldName(15)}
+	for f := 1; f < 15; f++ {
+		order = append(order, fieldName(f))
+	}
+	reordered, err := prog.Reordered(rec, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Place(fieldName(15)).Offset != 8 {
+		t.Fatalf("reorder did not move the hot field: %+v", reordered.Place(fieldName(15)))
+	}
+	reo := cycles(reordered)
+
+	// Split: hot pair into its own struct.
+	split, err := prog.Split(rec, [][]string{
+		{fieldName(0), fieldName(15)},
+		order[2:],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spl := cycles(split)
+
+	reorderSpeedup := float64(base) / float64(reo)
+	splitSpeedup := float64(base) / float64(spl)
+	t.Logf("reorder %.3f×, split %.3f×", reorderSpeedup, splitSpeedup)
+
+	if reorderSpeedup < 1.2 {
+		t.Errorf("reordering opposite-end hot fields should pay: %.3f×", reorderSpeedup)
+	}
+	if splitSpeedup < reorderSpeedup*1.2 {
+		t.Errorf("splitting (%.3f×) should clearly beat reordering (%.3f×)",
+			splitSpeedup, reorderSpeedup)
+	}
+}
+
+func TestReorderedValidation(t *testing.T) {
+	rec := prog.MustRecord("r",
+		prog.Field{Name: "a", Size: 8}, prog.Field{Name: "b", Size: 8})
+	if _, err := prog.Reordered(rec, []string{"a"}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := prog.Reordered(rec, []string{"a", "zz"}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := prog.Reordered(rec, []string{"a", "a"}); err == nil {
+		t.Error("repeated field accepted")
+	}
+	l, err := prog.Reordered(rec, []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Place("b").Offset != 0 || l.Place("a").Offset != 8 {
+		t.Errorf("order not applied: %+v %+v", l.Place("b"), l.Place("a"))
+	}
+	if l.IsSplit() {
+		t.Error("reordered layout claims to be split")
+	}
+}
