@@ -1,0 +1,32 @@
+# Standard targets; CI runs the same three steps (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race lint fmt fuzz bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint: go vet must be clean and every file gofmt-formatted.
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+# fuzz: a short smoke run of the symbolic-resolver fuzzer.
+fuzz:
+	$(GO) test ./internal/staticlint/ -fuzz FuzzResolver -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

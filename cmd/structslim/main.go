@@ -8,6 +8,14 @@
 //
 //	structslim -workload art [-scale bench] [-period 10000] [-dot out.dot]
 //	structslim -list
+//
+// The vet subcommand runs the static stride & layout analyzer instead:
+// it predicts each loop's access streams from the IR alone, lints the
+// registered struct layouts, and cross-checks the predictions against
+// the dynamic profiler:
+//
+//	structslim vet -workload quickstart
+//	structslim vet -all [-static-only]
 package main
 
 import (
@@ -24,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		fail(runVet(os.Args[2:], os.Stdout))
+		return
+	}
 	var (
 		name     = flag.String("workload", "", "workload to profile (see -list)")
 		list     = flag.Bool("list", false, "list available workloads")
@@ -46,13 +58,21 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		inPaper := make(map[string]bool)
 		fmt.Println("Paper benchmarks (Table 2):")
 		for _, w := range workloads.Paper() {
+			inPaper[w.Name()] = true
 			fmt.Printf("  %-12s %-45s %s\n", w.Name(), w.Suite(), w.Description())
 		}
 		fmt.Println("Suite stand-ins (Figures 4/5):")
 		for _, w := range workloads.All() {
 			if w.Record() == nil {
+				fmt.Printf("  %-12s %-45s %s\n", w.Name(), w.Suite(), w.Description())
+			}
+		}
+		fmt.Println("Other (case studies, fixtures):")
+		for _, w := range workloads.All() {
+			if w.Record() != nil && !inPaper[w.Name()] {
 				fmt.Printf("  %-12s %-45s %s\n", w.Name(), w.Suite(), w.Description())
 			}
 		}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/staticlint"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+// runVet implements `structslim vet`: run the static stride & layout
+// analyzer over a workload, lint its registered struct layouts, and —
+// unless -static-only — profile the workload and cross-check every exact
+// static prediction against the dynamic GCD recovery (Eqs. 2–6). It
+// returns an error when predictions contradict the profile.
+func runVet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	var (
+		name       = fs.String("workload", "", "workload to vet (see structslim -list)")
+		all        = fs.Bool("all", false, "vet every registered workload")
+		scale      = fs.String("scale", "test", "problem scale: test or bench")
+		period     = fs.Uint64("period", 2_000, "address-sampling period for the cross-check")
+		seed       = fs.Uint64("seed", 1, "sampling randomization seed")
+		staticOnly = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := workloads.ScaleTest
+	if *scale == "bench" {
+		sc = workloads.ScaleBench
+	}
+
+	var targets []workloads.Workload
+	switch {
+	case *all:
+		targets = workloads.All()
+	case *name != "":
+		w, err := workloads.Get(*name)
+		if err != nil {
+			return err
+		}
+		targets = []workloads.Workload{w}
+	default:
+		return fmt.Errorf("vet: need -workload or -all")
+	}
+
+	failed := 0
+	for _, w := range targets {
+		if len(targets) > 1 {
+			fmt.Fprintf(out, "=== %s ===\n", w.Name())
+		}
+		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, out)
+		if err != nil {
+			return fmt.Errorf("vet %s: %w", w.Name(), err)
+		}
+		if !ok {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("vet: static predictions contradict the profiler in %d workload(s)", failed)
+	}
+	return nil
+}
+
+func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly bool, out io.Writer) (bool, error) {
+	p, phases, err := w.Build(nil, sc)
+	if err != nil {
+		return false, err
+	}
+	a, err := staticlint.AnalyzeProgram(p)
+	if err != nil {
+		return false, err
+	}
+	a.RenderText(out)
+
+	var rep *core.Report
+	ok := true
+	if !staticOnly {
+		res, dynRep, err := structslim.ProfileAndAnalyze(p, phases, structslim.Options{
+			SamplePeriod: period,
+			Seed:         seed,
+		})
+		if err != nil {
+			return false, err
+		}
+		rep = dynRep
+		r := staticlint.CrossCheck(a, res.Profile, 0)
+		r.RenderText(out)
+		ok = !r.Failed()
+	}
+	staticlint.WriteFindings(out, staticlint.Lint(a, rep))
+	return ok, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestVetQuickstart is the acceptance check for the vet subcommand: the
+// quickstart fixture's deliberately padded record must produce layout-lint
+// findings, and the static predictions must survive the cross-check.
+func TestVetQuickstart(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-workload", "quickstart", "-period", "500", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("vet failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"padding-hole",
+		"never-co-accessed",
+		"RESULT: ok",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("vet output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVetStaticOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-workload", "quickstart", "-static-only"}, &out); err != nil {
+		t.Fatalf("vet -static-only failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "Cross-check") {
+		t.Error("-static-only still ran the profiler")
+	}
+	if !strings.Contains(s, "Layout lint") || !strings.Contains(s, "padding-hole") {
+		t.Errorf("static-only vet missing lint findings:\n%s", s)
+	}
+}
+
+func TestVetNeedsTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet(nil, &out); err == nil {
+		t.Error("vet without -workload/-all should fail")
+	}
+}

@@ -330,10 +330,14 @@ func TestAnalyzeLoopsOnBuilderProgram(t *testing.T) {
 		t.Error("bogus IPs attributed")
 	}
 
-	// AllLoops is stable and sorted.
+	// AllLoops is stable and sorted by (FnID, LoopID).
 	all := pl.AllLoops()
-	if len(all) != 2 || all[0].Key > all[1].Key {
-		t.Error("AllLoops not sorted")
+	if len(all) != 2 {
+		t.Fatalf("AllLoops = %d entries, want 2", len(all))
+	}
+	if all[0].FnID > all[1].FnID ||
+		(all[0].FnID == all[1].FnID && all[0].LoopID >= all[1].LoopID) {
+		t.Error("AllLoops not sorted by (FnID, LoopID)")
 	}
 	if pl.Info(all[0].Key) != all[0] {
 		t.Error("Info lookup broken")

@@ -1,0 +1,98 @@
+package cfg
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// buildNested builds a two-function program with a triple nest plus a
+// sibling loop in main and a double nest in the helper, exercising enough
+// forest structure that an ordering bug would show.
+func buildNested(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("det")
+	helper := b.Func("helper", "det.c")
+	{
+		i, j := b.R(), b.R()
+		b.AtLine(5)
+		b.ForRange(i, 0, 4, 1, func() {
+			b.ForRange(j, 0, 4, 1, func() {
+				b.AddI(j, j, 0)
+			})
+		})
+		b.Ret()
+	}
+	main := b.Func("main", "det.c")
+	{
+		i, j, k := b.R(), b.R(), b.R()
+		b.AtLine(20)
+		b.ForRange(i, 0, 3, 1, func() {
+			b.ForRange(j, 0, 3, 1, func() {
+				b.ForRange(k, 0, 3, 1, func() {
+					b.AddI(k, k, 0)
+				})
+			})
+		})
+		b.AtLine(30)
+		b.ForRange(i, 0, 3, 1, func() {
+			b.Call(helper)
+		})
+		b.Halt()
+	}
+	b.SetEntry(main)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+// TestLoopOutputDeterministic: two independent analyses of the same
+// program must render byte-identical loop reports and dot files, and
+// AllLoops must enumerate in (FnID, LoopID) order.
+func TestLoopOutputDeterministic(t *testing.T) {
+	p := buildNested(t)
+
+	render := func() (string, string) {
+		pl, err := AnalyzeLoops(p)
+		if err != nil {
+			t.Fatalf("AnalyzeLoops: %v", err)
+		}
+		var report bytes.Buffer
+		WriteLoopReport(&report, p, pl)
+		var dots bytes.Buffer
+		for _, f := range p.Funcs {
+			WriteDot(&dots, f, pl.Forests[f.ID])
+		}
+		return report.String(), dots.String()
+	}
+
+	r1, d1 := render()
+	for run := 0; run < 5; run++ {
+		r2, d2 := render()
+		if r1 != r2 {
+			t.Fatalf("loop report differs between runs:\n--- run 0:\n%s\n--- run %d:\n%s", r1, run+1, r2)
+		}
+		if d1 != d2 {
+			t.Fatalf("dot output differs between runs")
+		}
+	}
+
+	pl, err := AnalyzeLoops(p)
+	if err != nil {
+		t.Fatalf("AnalyzeLoops: %v", err)
+	}
+	all := pl.AllLoops()
+	for i := 1; i < len(all); i++ {
+		a, b := all[i-1], all[i]
+		if a.FnID > b.FnID || (a.FnID == b.FnID && a.LoopID >= b.LoopID) {
+			t.Fatalf("AllLoops out of order at %d: (%d,%d) before (%d,%d)",
+				i, a.FnID, a.LoopID, b.FnID, b.LoopID)
+		}
+	}
+	if len(all) != 6 {
+		t.Errorf("loops found = %d, want 6", len(all))
+	}
+}

@@ -3,6 +3,7 @@ package cfg
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/prog"
@@ -91,7 +92,9 @@ func WriteLoopReport(w io.Writer, p *prog.Program, pl *ProgramLoops) {
 			}
 			fmt.Fprintf(w, "    %s%s, %d blocks%s\n",
 				strings.Repeat("  ", depth), name, len(l.Blocks), kind)
-			for _, c := range l.Children {
+			kids := append([]int(nil), l.Children...)
+			sort.Ints(kids) // render children in LoopID order
+			for _, c := range kids {
 				walk(forest.Loops[c], depth+1)
 			}
 		}

@@ -141,14 +141,21 @@ func (pl *ProgramLoops) LoopOfIP(ip uint64) *LoopInfo {
 // Info returns the LoopInfo for a loop key, or nil.
 func (pl *ProgramLoops) Info(key uint64) *LoopInfo { return pl.infos[key] }
 
-// AllLoops returns every loop in the program, ordered by function then
-// header, for stable reporting.
+// AllLoops returns every loop in the program, ordered by (FnID, LoopID):
+// the forest's loop numbering, not header block order. The order is the
+// canonical one for rendering, so reports and dot output are
+// byte-identical across runs.
 func (pl *ProgramLoops) AllLoops() []*LoopInfo {
 	out := make([]*LoopInfo, 0, len(pl.infos))
 	for _, li := range pl.infos {
 		out = append(out, li)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FnID != out[j].FnID {
+			return out[i].FnID < out[j].FnID
+		}
+		return out[i].LoopID < out[j].LoopID
+	})
 	return out
 }
 

@@ -459,6 +459,15 @@ func analyzeStruct(
 		if sr.Loops[i].LatencySum != sr.Loops[j].LatencySum {
 			return sr.Loops[i].LatencySum > sr.Loops[j].LatencySum
 		}
+		// Ties break on (FnID, LoopID) — the canonical loop order — so
+		// renderings are byte-identical across runs.
+		li, lj := sr.Loops[i].Loop, sr.Loops[j].Loop
+		if li != nil && lj != nil {
+			if li.FnID != lj.FnID {
+				return li.FnID < lj.FnID
+			}
+			return li.LoopID < lj.LoopID
+		}
 		return sr.Loops[i].Name < sr.Loops[j].Name
 	})
 

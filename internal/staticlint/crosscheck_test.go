@@ -1,0 +1,107 @@
+package staticlint
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func TestCrossCheckAoS(t *testing.T) {
+	p := buildAoS(t, 400, 64)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+	r := CrossCheck(a, res.Profile, 0)
+	if r.Failed() {
+		for _, c := range r.Checks {
+			if c.Status == CheckMismatch {
+				t.Errorf("mismatch at %s: %s", c.Where, c.Detail)
+			}
+		}
+		t.Fatalf("cross-check failed: %d mismatches", r.Mismatches)
+	}
+	if r.OK == 0 {
+		t.Fatalf("no stream was actually checked: %+v", r)
+	}
+	sawOffset := false
+	for _, c := range r.Checks {
+		if c.Status == CheckOK && c.DynOffset != UnknownOffset {
+			sawOffset = true
+			if c.DynSize != 64 {
+				t.Errorf("stream %s: dynamic size %d, want 64", c.Where, c.DynSize)
+			}
+		}
+	}
+	if !sawOffset {
+		t.Error("no offset was cross-checked")
+	}
+}
+
+// TestCrossCheckDetectsLies proves the checker has teeth: corrupting a
+// static prediction must surface as a hard mismatch.
+func TestCrossCheckDetectsLies(t *testing.T) {
+	p := buildAoS(t, 400, 64)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+	for _, sp := range a.Streams {
+		if sp.Confidence == Exact {
+			sp.Stride = 48 // 64 is not a multiple of 48
+		}
+	}
+	if r := CrossCheck(a, res.Profile, 0); !r.Failed() {
+		t.Error("corrupted static strides were not flagged")
+	}
+}
+
+// TestCrossCheckAllWorkloads is the whole-suite validation: profile every
+// built-in workload and require that no exact static prediction
+// contradicts the dynamic GCD recovery — stride, structure size, or field
+// offset (Eqs. 2–6).
+func TestCrossCheckAllWorkloads(t *testing.T) {
+	totalExact, totalOK := 0, 0
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			a, err := AnalyzeProgram(p)
+			if err != nil {
+				t.Fatalf("AnalyzeProgram: %v", err)
+			}
+			res, err := structslim.ProfileRun(p, phases, structslim.Options{SamplePeriod: 500, Seed: 7})
+			if err != nil {
+				t.Fatalf("ProfileRun: %v", err)
+			}
+			r := CrossCheck(a, res.Profile, 0)
+			for _, c := range r.Checks {
+				if c.Status == CheckMismatch {
+					t.Errorf("mismatch at %s (%s, obj %s): %s",
+						c.Where, c.Static.Op, c.ObjName, c.Detail)
+				}
+			}
+			t.Logf("%s: %d exact / %d hint / %d unresolved streams; checks: %d ok, %d warn, %d static-only, %d dynamic-only",
+				w.Name(), r.NumExact, r.NumHint, r.NumUnresolved,
+				r.OK, r.Warnings, r.StaticOnly, r.DynamicOnly)
+			totalExact += r.NumExact
+			totalOK += r.OK
+		})
+	}
+	if totalExact == 0 || totalOK == 0 {
+		t.Errorf("suite-wide: %d exact predictions, %d checked ok — the static analyzer resolved nothing",
+			totalExact, totalOK)
+	}
+}

@@ -1,0 +1,281 @@
+// Package staticlint is the static twin of the dynamic profiler: an IR
+// dataflow analysis that predicts memory access patterns without running
+// the program. Where internal/stride recovers strides, structure sizes,
+// and field offsets from sparse address samples (paper Eqs. 2–6),
+// staticlint derives the same facts symbolically from the binary alone:
+// it detects loop induction variables over the Havlak loop forest
+// (internal/cfg), resolves each Load/Store's effective address
+// base + index*scale + disp into a linear form over loop counters, and
+// emits per-(instruction, loop) stream predictions.
+//
+// Two consumers sit on top of the predictions: a cross-validation report
+// (crosscheck.go) that compares static predictions against the dynamic
+// profile stream by stream, and a layout linter (lint.go) that flags
+// padding holes, hot/cold field mixing, and fields that never co-occur
+// in a loop.
+package staticlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ivRef names one loop's symbolic iteration counter κ: the counter of the
+// reducible loop with the given header block in the given function.
+type ivRef struct {
+	Fn     int
+	Header int
+}
+
+// baseKind classifies the base object of a resolved address expression.
+type baseKind uint8
+
+// Base kinds. baseNone means the expression is a plain integer (or an
+// address with statically unknown base).
+const (
+	baseNone baseKind = iota
+	baseGlobal
+	baseAlloc
+)
+
+// baseRef identifies the base data object of an address: a program global
+// (by index) or a heap allocation site (by the Alloc instruction's IP).
+type baseRef struct {
+	Kind    baseKind
+	Global  int    // valid for baseGlobal
+	AllocIP uint64 // valid for baseAlloc
+}
+
+// exprKind is the lattice level of an abstract register value.
+type exprKind uint8
+
+const (
+	// exprBottom: no value yet (unreached in the fixpoint iteration).
+	exprBottom exprKind = iota
+	// exprLin: fully resolved linear form base + const + Σ coeff·κ.
+	exprLin
+	// exprLinU: linear form whose constant part (and possibly base) is
+	// unknown, but whose loop-counter coefficients are known. Predictions
+	// from such values are hints, not hard claims.
+	exprLinU
+	// exprTop: statically unknown.
+	exprTop
+)
+
+// expr is one abstract value: a linear combination of loop counters over
+// an optional base object plus a constant, or ⊥/⊤.
+//
+// expr values are treated as immutable once built; terms maps are never
+// mutated in place after construction.
+type expr struct {
+	kind  exprKind
+	base  baseRef
+	c     int64
+	terms map[ivRef]int64 // nonzero coefficients only
+}
+
+func bottom() expr { return expr{kind: exprBottom} }
+func top() expr    { return expr{kind: exprTop} }
+
+func constant(c int64) expr { return expr{kind: exprLin, c: c} }
+
+func baseExpr(b baseRef) expr { return expr{kind: exprLin, base: b} }
+
+func (e expr) isConst() bool {
+	return e.kind == exprLin && e.base.Kind == baseNone && len(e.terms) == 0
+}
+
+// known reports whether the value carries any linear structure (exprLin or
+// exprLinU).
+func (e expr) known() bool { return e.kind == exprLin || e.kind == exprLinU }
+
+// hasTerm reports whether κ of the given loop appears with a nonzero
+// coefficient.
+func (e expr) hasTerm(iv ivRef) bool {
+	_, ok := e.terms[iv]
+	return ok
+}
+
+// coeff returns the coefficient of the given loop counter (0 if absent).
+func (e expr) coeff(iv ivRef) int64 { return e.terms[iv] }
+
+func cloneTerms(t map[ivRef]int64) map[ivRef]int64 {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make(map[ivRef]int64, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+func termsEqual(a, b map[ivRef]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (e expr) equal(o expr) bool {
+	return e.kind == o.kind && e.base == o.base && e.c == o.c && termsEqual(e.terms, o.terms)
+}
+
+// addTerm returns e with coefficient k added to loop counter iv.
+func (e expr) addTerm(iv ivRef, k int64) expr {
+	if k == 0 {
+		return e
+	}
+	t := cloneTerms(e.terms)
+	if t == nil {
+		t = make(map[ivRef]int64, 1)
+	}
+	t[iv] += k
+	if t[iv] == 0 {
+		delete(t, iv)
+	}
+	e.terms = t
+	return e
+}
+
+// join is the lattice join (control-flow merge) of two abstract values.
+func join(a, b expr) expr {
+	switch {
+	case a.kind == exprBottom:
+		return b
+	case b.kind == exprBottom:
+		return a
+	case a.kind == exprTop || b.kind == exprTop:
+		return top()
+	case a.equal(b):
+		return a
+	}
+	// Both linear-ish but unequal: if the loop-counter coefficients agree
+	// the merge still has a known stride shape — keep it as a hint with
+	// the base preserved only when both sides agree on it.
+	if termsEqual(a.terms, b.terms) {
+		out := expr{kind: exprLinU, terms: a.terms}
+		if a.base == b.base {
+			out.base = a.base
+		}
+		return out
+	}
+	return top()
+}
+
+// add returns the abstract sum a + b.
+func add(a, b expr) expr {
+	if !a.known() || !b.known() {
+		return top()
+	}
+	if a.base.Kind != baseNone && b.base.Kind != baseNone {
+		return top() // pointer + pointer: not a meaningful address form
+	}
+	out := expr{kind: exprLin, base: a.base, c: a.c + b.c}
+	if b.base.Kind != baseNone {
+		out.base = b.base
+	}
+	if a.kind == exprLinU || b.kind == exprLinU {
+		out.kind = exprLinU
+	}
+	t := cloneTerms(a.terms)
+	for iv, k := range b.terms {
+		if t == nil {
+			t = make(map[ivRef]int64, len(b.terms))
+		}
+		t[iv] += k
+		if t[iv] == 0 {
+			delete(t, iv)
+		}
+	}
+	out.terms = t
+	return out
+}
+
+// sub returns the abstract difference a − b. Subtracting a matching base
+// cancels it (pointer difference); subtracting a different base is ⊤.
+func sub(a, b expr) expr {
+	if !a.known() || !b.known() {
+		return top()
+	}
+	if b.base.Kind != baseNone {
+		if a.base != b.base {
+			return top()
+		}
+		a.base = baseRef{}
+		b.base = baseRef{}
+	}
+	neg := expr{kind: b.kind, c: -b.c}
+	if len(b.terms) > 0 {
+		nt := make(map[ivRef]int64, len(b.terms))
+		for iv, k := range b.terms {
+			nt[iv] = -k
+		}
+		neg.terms = nt
+	}
+	return add(a, neg)
+}
+
+// mulConst returns the abstract product a · k.
+func mulConst(a expr, k int64) expr {
+	if !a.known() {
+		return top()
+	}
+	if k == 0 {
+		return constant(0)
+	}
+	if a.base.Kind != baseNone && k != 1 {
+		return top() // scaled pointer
+	}
+	out := expr{kind: a.kind, base: a.base, c: a.c * k}
+	if len(a.terms) > 0 {
+		t := make(map[ivRef]int64, len(a.terms))
+		for iv, c := range a.terms {
+			t[iv] = c * k
+		}
+		out.terms = t
+	}
+	return out
+}
+
+// String renders the value for diagnostics and tests.
+func (e expr) String() string {
+	switch e.kind {
+	case exprBottom:
+		return "⊥"
+	case exprTop:
+		return "⊤"
+	}
+	var parts []string
+	switch e.base.Kind {
+	case baseGlobal:
+		parts = append(parts, fmt.Sprintf("g%d", e.base.Global))
+	case baseAlloc:
+		parts = append(parts, fmt.Sprintf("alloc@%#x", e.base.AllocIP))
+	}
+	ivs := make([]ivRef, 0, len(e.terms))
+	for iv := range e.terms {
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Fn != ivs[j].Fn {
+			return ivs[i].Fn < ivs[j].Fn
+		}
+		return ivs[i].Header < ivs[j].Header
+	})
+	for _, iv := range ivs {
+		parts = append(parts, fmt.Sprintf("%d·κ(f%d,b%d)", e.terms[iv], iv.Fn, iv.Header))
+	}
+	if e.kind == exprLinU {
+		parts = append(parts, "U")
+	} else if e.c != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.c))
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,106 @@
+package staticlint
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/structslim"
+)
+
+// FuzzResolver drives the symbolic address resolver with byte-encoded
+// loop-nest programs over one bounded global: AnalyzeProgram must never
+// panic, and every exact static stride must divide the dynamic GCD of the
+// corresponding profiled stream — the deltas the profiler sees are
+// integer combinations of the loop coefficients the resolver found.
+//
+// Byte pairs (op, arg) encode: op%4 == 0 load, 1 store, 2 open a nested
+// loop (trip count and step from arg), 3 close the current loop. All
+// addresses are base + iv*scale + disp with bounded iv/scale/disp, so
+// every access stays inside the global.
+func FuzzResolver(f *testing.F) {
+	f.Add([]byte{2, 5, 0, 9, 3, 0})                    // one loop, one load
+	f.Add([]byte{2, 3, 2, 8, 0, 17, 3, 0, 1, 4, 3, 0}) // nest: inner load, outer store
+	f.Add([]byte{0, 0, 2, 1, 1, 255, 2, 6, 0, 33})     // straight-line + unclosed loops
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 0, 7})        // depth-capped nest
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 64 {
+			return
+		}
+		b := prog.NewBuilder("fuzz")
+		g := b.Global("g", 1<<16, -1)
+		b.Func("main", "fuzz.c")
+		base, x := b.R(), b.R()
+		b.GAddr(base, g)
+		var ivs []isa.Reg
+		loops := 0
+		pos := 0
+		var walk func(depth int)
+		walk = func(depth int) {
+			for pos+1 < len(data) {
+				op, arg := data[pos], data[pos+1]
+				pos += 2
+				idx := isa.RZ
+				if len(ivs) > 0 {
+					idx = ivs[int(arg)%len(ivs)]
+				}
+				scale := int(arg%16) * 8  // 0 means ×1 to the ISA
+				disp := int64(arg%64) * 8 // within the global
+				switch op % 4 {
+				case 0:
+					b.Load(x, base, idx, scale, disp, 8)
+				case 1:
+					b.Store(x, base, idx, scale, disp, 8)
+				case 2:
+					if depth >= 3 || loops >= 6 {
+						continue
+					}
+					loops++
+					iv := b.R()
+					trips := int64(arg%7) + 2
+					step := int64(arg%3) + 1
+					ivs = append(ivs, iv)
+					b.ForRange(iv, 0, trips*step, step, func() { walk(depth + 1) })
+					ivs = ivs[:len(ivs)-1]
+				case 3:
+					if depth > 0 {
+						return
+					}
+				}
+			}
+		}
+		walk(0)
+		b.Halt()
+		p, err := b.Program()
+		if err != nil {
+			return // malformed program rejected by the builder, fine
+		}
+
+		a, err := AnalyzeProgram(p) // must not panic on any input
+		if err != nil {
+			t.Fatalf("AnalyzeProgram: %v", err)
+		}
+
+		res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 20, Seed: 3})
+		if err != nil {
+			t.Fatalf("ProfileRun: %v", err)
+		}
+		for key, stat := range res.Profile.Streams {
+			sp := a.StreamAt(key.IP)
+			if sp == nil || sp.Confidence != Exact {
+				continue
+			}
+			if sp.Stride == 0 {
+				if stat.GCD != 0 {
+					t.Fatalf("IP %#x: static stride 0 but dynamic GCD %d", key.IP, stat.GCD)
+				}
+				continue
+			}
+			if stat.GCD%sp.Stride != 0 {
+				t.Fatalf("IP %#x: static stride %d does not divide dynamic GCD %d",
+					key.IP, sp.Stride, stat.GCD)
+			}
+		}
+	})
+}

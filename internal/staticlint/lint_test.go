@@ -1,0 +1,148 @@
+package staticlint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// buildTyped builds a program over a typed global array of qrec-like
+// records: loop 1 reads f0 (offset 0) and f1 (offset 8); loop 2 writes f3
+// (offset 24); f2 (offset 16, 1 byte) is never accessed.
+func buildTyped(t *testing.T) *prog.Program {
+	t.Helper()
+	st := &prog.StructType{
+		Name: "lintrec",
+		Fields: []prog.PhysField{
+			{Name: "f0", Offset: 0, Size: 8},
+			{Name: "f1", Offset: 8, Size: 8},
+			{Name: "f2", Offset: 16, Size: 1},
+			{Name: "f3", Offset: 24, Size: 8},
+		},
+		Size:  32,
+		Align: 8,
+	}
+	b := prog.NewBuilder("lint")
+	tid := b.Type(st)
+	g := b.Global("arr", 100*32, tid)
+	b.Func("main", "lint.c")
+	base, i, x := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.ForRange(i, 0, 100, 1, func() {
+		b.Load(x, base, i, 32, 0, 8)
+		b.Load(x, base, i, 32, 8, 8)
+	})
+	b.ForRange(i, 0, 100, 1, func() {
+		b.Store(x, base, i, 32, 24, 8)
+	})
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+func findingsOf(fs []Finding, kind LintKind) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestLintTyped(t *testing.T) {
+	p := buildTyped(t)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	fs := Lint(a, nil)
+
+	holes := findingsOf(fs, LintPaddingHole)
+	if len(holes) != 1 || holes[0].Bytes != 7 {
+		t.Errorf("padding holes = %+v, want one 7-byte hole after f2", holes)
+	}
+	if tp := findingsOf(fs, LintTrailingPadding); len(tp) != 0 {
+		t.Errorf("unexpected trailing padding: %+v", tp)
+	}
+
+	co := findingsOf(fs, LintNeverCoAccessed)
+	if len(co) != 1 {
+		t.Fatalf("never-co-accessed findings = %+v, want 1", co)
+	}
+	if d := co[0].Detail; !strings.Contains(d, "{f0,f1}") || !strings.Contains(d, "{f3}") {
+		t.Errorf("co-access groups wrong: %s", d)
+	}
+
+	hc := findingsOf(fs, LintHotColdMix)
+	if len(hc) != 1 {
+		t.Fatalf("hot-cold findings = %+v, want 1 (static evidence)", hc)
+	}
+	if d := hc[0].Detail; !strings.Contains(d, "f2") {
+		t.Errorf("cold field f2 not named: %s", d)
+	}
+}
+
+// TestLintTrailingPadding checks the trailing-padding path in isolation.
+func TestLintTrailingPadding(t *testing.T) {
+	st := &prog.StructType{
+		Name:   "tail",
+		Fields: []prog.PhysField{{Name: "a", Offset: 0, Size: 8}, {Name: "b", Offset: 8, Size: 5}},
+		Size:   16,
+		Align:  8,
+	}
+	b := prog.NewBuilder("tail")
+	b.Type(st)
+	b.Func("main", "tail.c")
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	fs := Lint(a, nil)
+	tp := findingsOf(fs, LintTrailingPadding)
+	if len(tp) != 1 || tp[0].Bytes != 3 {
+		t.Errorf("trailing padding = %+v, want 3 bytes", tp)
+	}
+}
+
+// TestLintCleanStruct checks that a dense fully-co-accessed struct lints
+// clean.
+func TestLintCleanStruct(t *testing.T) {
+	st := &prog.StructType{
+		Name:   "clean",
+		Fields: []prog.PhysField{{Name: "a", Offset: 0, Size: 8}, {Name: "b", Offset: 8, Size: 8}},
+		Size:   16,
+		Align:  8,
+	}
+	b := prog.NewBuilder("clean")
+	tid := b.Type(st)
+	g := b.Global("arr", 100*16, tid)
+	b.Func("main", "clean.c")
+	base, i, x := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.ForRange(i, 0, 100, 1, func() {
+		b.Load(x, base, i, 16, 0, 8)
+		b.Load(x, base, i, 16, 8, 8)
+	})
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	if fs := Lint(a, nil); len(fs) != 0 {
+		t.Errorf("clean struct produced findings: %+v", fs)
+	}
+}

@@ -1,0 +1,107 @@
+package staticlint
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderText writes the static stream predictions and per-object
+// aggregates in the same plain style as core.Report.RenderText.
+func (a *Analysis) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Static stride analysis for %s\n", a.Program.Name)
+	nExact, nHint, nUnres := 0, 0, 0
+	for _, sp := range a.Streams {
+		switch sp.Confidence {
+		case Exact:
+			nExact++
+		case Hint:
+			nHint++
+		default:
+			nUnres++
+		}
+	}
+	fmt.Fprintf(w, "  streams: %d exact / %d hint / %d unresolved of %d memory accesses\n",
+		nExact, nHint, nUnres, len(a.Streams))
+	if len(a.UnanalyzedFns) > 0 {
+		fmt.Fprintf(w, "  WARNING: dataflow did not converge in %d function(s)\n", len(a.UnanalyzedFns))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "Predicted streams (instruction × innermost loop):\n")
+	for _, sp := range a.Streams {
+		loop := "-"
+		if sp.Loop != nil {
+			loop = sp.Loop.Name()
+		}
+		switch sp.Confidence {
+		case Exact:
+			extra := ""
+			if sp.OffsetResolved {
+				extra = fmt.Sprintf("  size=%-4d offset=%d", sp.PredSize, sp.Offset)
+			}
+			fmt.Fprintf(w, "  %-14s %-5s %-24s exact       stride=%-6d%s\n",
+				sp.Where, sp.Op, loop, sp.Stride, extra)
+		case Hint:
+			fmt.Fprintf(w, "  %-14s %-5s %-24s hint        stride=%-6d (%s)\n",
+				sp.Where, sp.Op, loop, sp.Stride, sp.Reason)
+		default:
+			fmt.Fprintf(w, "  %-14s %-5s %-24s unresolved  (%s)\n",
+				sp.Where, sp.Op, loop, sp.Reason)
+		}
+	}
+	fmt.Fprintln(w)
+
+	if len(a.Objects) > 0 {
+		fmt.Fprintf(w, "Predicted objects (static Eq. 5):\n")
+		for _, obj := range a.Objects {
+			size := "elem size unknown"
+			if obj.PredSize > 0 {
+				size = fmt.Sprintf("elem size %d", obj.PredSize)
+			}
+			debug := ""
+			if obj.DebugSize > 0 {
+				debug = fmt.Sprintf(" (debug info: %d)", obj.DebugSize)
+			}
+			fmt.Fprintf(w, "  %-32s %s%s, %d exact stream(s)\n",
+				obj.Name, size, debug, len(obj.Streams))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderText summarizes the static-vs-dynamic cross-check, listing every
+// non-OK stream comparison.
+func (r *CrossReport) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Cross-check against dynamic profile (%s):\n", r.Program)
+	fmt.Fprintf(w, "  %d ok / %d mismatch / %d warning / %d static-only / %d dynamic-only\n",
+		r.OK, r.Mismatches, r.Warnings, r.StaticOnly, r.DynamicOnly)
+	for _, c := range r.Checks {
+		if c.Status == CheckOK {
+			continue
+		}
+		obj := c.ObjName
+		if obj == "" {
+			obj = "-"
+		}
+		fmt.Fprintf(w, "  %-11s %-14s obj=%-24s %s\n", c.Status, c.Where, obj, c.Detail)
+	}
+	if r.Failed() {
+		fmt.Fprintf(w, "  RESULT: FAIL — static predictions contradict the profiler\n")
+	} else {
+		fmt.Fprintf(w, "  RESULT: ok — every exact prediction is consistent with the dynamic GCD recovery\n")
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFindings renders the layout-lint findings, one per line.
+func WriteFindings(w io.Writer, findings []Finding) {
+	if len(findings) == 0 {
+		fmt.Fprintf(w, "Layout lint: no findings\n")
+		return
+	}
+	fmt.Fprintf(w, "Layout lint (%d finding(s)):\n", len(findings))
+	for _, f := range findings {
+		fmt.Fprintf(w, "  %-18s struct %-16s %s\n", f.Kind, f.Struct, f.Detail)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,54 @@
+package structslim_test
+
+// Determinism of the rendered analysis: one profile, analyzed twice, must
+// produce byte-identical text and JSON reports. Loop identifiers are the
+// main hazard — LoopInfo output is canonically ordered by (FnID, LoopID) —
+// but the test guards every map-ordering dependency in the report path.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func TestReportRenderingDeterministic(t *testing.T) {
+	w, err := workloads.Get("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := structslim.ProfileRun(p, phases, structslim.Options{SamplePeriod: 500, Seed: 7})
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+
+	render := func() (string, string) {
+		rep, err := core.Analyze(res.Profile, p, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		var text, js bytes.Buffer
+		rep.RenderText(&text)
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return text.String(), js.String()
+	}
+
+	t1, j1 := render()
+	for run := 0; run < 3; run++ {
+		t2, j2 := render()
+		if t1 != t2 {
+			t.Fatalf("RenderText differs between analyses of the same profile (run %d)", run+1)
+		}
+		if j1 != j2 {
+			t.Fatalf("WriteJSON differs between analyses of the same profile (run %d)", run+1)
+		}
+	}
+}
