@@ -1,0 +1,39 @@
+package staticlint
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Probe: outer loop whose "IV" increment sits inside a nested do-while
+// inner loop. The addi executes once per INNER iteration, but its block
+// dominates the outer latch, so detectIVs classifies it as an outer IV.
+func TestProbeNestedIncrement(t *testing.T) {
+	// b0: movi r1,0 ; jmp 1
+	// b1 (outer header): br -> 4 exit | fall -> 2
+	// b2 (inner self-loop, post-tested): addi r1,r1,8 ; load [r1] ; br -> 2 | fall -> 3
+	// b3 (outer latch): jmp 1
+	// b4: halt
+	blocks := []rawBlock{
+		{body: []isa.Instr{{Op: isa.MovI, Rd: 1, Imm: 0}}, term: "jmp", target: 1},
+		{term: "br", target: 4},
+		{body: []isa.Instr{
+			{Op: isa.AddI, Rd: 1, Rs1: 1, Imm: 8},
+			{Op: isa.Load, Rd: 8, Rs1: 1, Rs2: isa.RZ, Size: 8},
+		}, term: "br", target: 2},
+		{term: "jmp", target: 1},
+		{term: "halt"},
+	}
+	p := rawProgram(t, blocks)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	for _, sp := range a.Streams {
+		t.Logf("stream IP=%#x conf=%v stride=%d reason=%q", sp.IP, sp.Confidence, sp.Stride, sp.Reason)
+		for _, pl := range sp.PerLoop {
+			t.Logf("  perloop %s coeff=%d", pl.Loop.Name(), pl.Coeff)
+		}
+	}
+}
