@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench
+.PHONY: all build test race lint fmt fuzz bench bench-smoke
 
 all: build lint test
 
@@ -30,3 +30,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke: one iteration of the perf-critical benchmarks — the
+# hot-path microbenchmarks and the parallel-engine speedup/identity
+# check — with metrics captured for CI artifact upload.
+BENCH_METRICS ?= bench-metrics.txt
+bench-smoke:
+	$(GO) test -run '^$$' -benchtime 1x \
+		-bench 'BenchmarkRunnerParallel|BenchmarkMachineHotPath|BenchmarkCacheAccess|BenchmarkInterpreter' \
+		-benchmem . | tee $(BENCH_METRICS)

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/tables"
 	"repro/internal/workloads"
@@ -32,6 +33,8 @@ func main() {
 		scale    = flag.String("scale", "test", "problem scale: test or bench")
 		period   = flag.Uint64("period", 10_000, "address-sampling period")
 		seed     = flag.Uint64("seed", 1, "sampling randomization seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulations (output is byte-identical at any value)")
 	)
 	flag.Parse()
 
@@ -39,15 +42,20 @@ func main() {
 	if *scale == "bench" {
 		sc = workloads.ScaleBench
 	}
-	opt := tables.Options{Scale: sc, SamplePeriod: *period, Seed: *seed}
+	opt := tables.Options{Scale: sc, SamplePeriod: *period, Seed: *seed, Parallel: *parallel}
 	out := os.Stdout
+
+	// One engine for the whole invocation: artifacts that re-run the same
+	// simulation (Tables 3/4 vs Figures 7–13, ART's tables vs Figure 6)
+	// share results through its keyed cache.
+	eng := tables.NewEngine(opt)
 
 	// The Table 3/4 runs are shared.
 	var results []*tables.BenchResult
 	needBench := *all || *table == 3 || *table == 4
 	if needBench {
 		var err error
-		results, err = tables.RunPaperBenchmarks(opt)
+		results, err = eng.RunPaperBenchmarks()
 		fail(err)
 	}
 	needART := *all || *table == 5 || *table == 6 || *figure == 6
@@ -69,7 +77,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if needART {
-		sr, err := tables.AnalyzeART(opt)
+		sr, err := eng.AnalyzeART()
 		fail(err)
 		if *all || *table == 5 {
 			tables.WriteTable5(out, sr)
@@ -86,13 +94,13 @@ func main() {
 		}
 	}
 	if *all || *figure == 4 {
-		points, err := tables.SuiteOverheads(workloads.RodiniaSuite, opt)
+		points, err := eng.SuiteOverheads(workloads.RodiniaSuite)
 		fail(err)
 		tables.WriteOverheadFigure(out, "Figure 4: Rodinia", points, tables.PaperRodiniaAvgOverheadPct)
 		fmt.Fprintln(out)
 	}
 	if *all || *figure == 5 {
-		points, err := tables.SuiteOverheads(workloads.SpecSuite, opt)
+		points, err := eng.SuiteOverheads(workloads.SpecSuite)
 		fail(err)
 		tables.WriteOverheadFigure(out, "Figure 5: SPEC CPU 2006", points, tables.PaperSpecAvgOverheadPct)
 		fmt.Fprintln(out)
@@ -100,7 +108,7 @@ func main() {
 	for fig := 7; fig <= 13; fig++ {
 		if *all || *figure == fig {
 			fmt.Fprintf(out, "Figure %d: ", fig)
-			fail(tables.SplitFigure(out, tables.FigureNumberFor[fig], opt))
+			fail(eng.SplitFigure(out, tables.FigureNumberFor[fig]))
 			fmt.Fprintln(out)
 		}
 	}
@@ -110,20 +118,20 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if *all || *robust {
-		rows, err := tables.PeriodRobustness("art",
-			[]uint64{1000, 3000, 10_000, 30_000, 100_000}, "P", "P", opt)
+		rows, err := eng.PeriodRobustness("art",
+			[]uint64{1000, 3000, 10_000, 30_000, 100_000}, "P", "P")
 		fail(err)
 		tables.WriteRobustness(out, "art", rows)
 		fmt.Fprintln(out)
 	}
 	if *all || *baseline {
-		rows, err := tables.BaselineComparison("art", opt)
+		rows, err := eng.BaselineComparison("art")
 		fail(err)
 		tables.WriteBaselines(out, "art", rows)
 		fmt.Fprintln(out)
 	}
 	if *all || *cases {
-		fail(tables.CaseStudies(out, opt))
+		fail(eng.CaseStudies(out))
 	}
 
 	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*baseline && !*cases {

@@ -1,0 +1,155 @@
+package cache
+
+// dirTable is the coherence directory: line tag → bitmask of cores whose
+// private hierarchy may hold the line. It replaces the previous
+// map[uint64]uint32 with an open-addressed, power-of-two-sized table
+// (linear probing, backward-shift deletion), which keeps the per-access
+// probe a handful of array reads instead of a runtime map lookup. The
+// semantics are exact — every set bit the map would hold, this table
+// holds — so simulation results are unchanged.
+//
+// A slot is occupied iff its mask is nonzero; clearing the last bit of a
+// mask deletes the slot. Simulated addresses start well above zero, so
+// tag 0 never collides with the zero value of an empty slot's tag.
+type dirTable struct {
+	tags  []uint64
+	masks []uint32
+	used  int
+}
+
+const dirMinSize = 1 << 10
+
+func newDirTable() *dirTable {
+	return &dirTable{tags: make([]uint64, dirMinSize), masks: make([]uint32, dirMinSize)}
+}
+
+// slot is Fibonacci hashing into the power-of-two table.
+func (d *dirTable) slot(tag uint64) uint64 {
+	return (tag * 0x9E3779B97F4A7C15) >> 11 & uint64(len(d.tags)-1)
+}
+
+// get returns the mask for tag (0 when absent).
+func (d *dirTable) get(tag uint64) uint32 {
+	mask := uint64(len(d.tags) - 1)
+	for i := d.slot(tag); ; i = (i + 1) & mask {
+		if d.masks[i] == 0 {
+			return 0
+		}
+		if d.tags[i] == tag {
+			return d.masks[i]
+		}
+	}
+}
+
+// set stores a nonzero mask for tag, growing the table at 3/4 load.
+func (d *dirTable) set(tag uint64, m uint32) {
+	if m == 0 {
+		d.delete(tag)
+		return
+	}
+	if d.used*4 >= len(d.tags)*3 {
+		d.grow()
+	}
+	mask := uint64(len(d.tags) - 1)
+	for i := d.slot(tag); ; i = (i + 1) & mask {
+		if d.masks[i] == 0 {
+			d.tags[i] = tag
+			d.masks[i] = m
+			d.used++
+			return
+		}
+		if d.tags[i] == tag {
+			d.masks[i] = m
+			return
+		}
+	}
+}
+
+// or sets bits in tag's mask, inserting the entry if absent.
+func (d *dirTable) or(tag uint64, bits uint32) {
+	if bits == 0 {
+		return
+	}
+	if d.used*4 >= len(d.tags)*3 {
+		d.grow()
+	}
+	mask := uint64(len(d.tags) - 1)
+	for i := d.slot(tag); ; i = (i + 1) & mask {
+		if d.masks[i] == 0 {
+			d.tags[i] = tag
+			d.masks[i] = bits
+			d.used++
+			return
+		}
+		if d.tags[i] == tag {
+			d.masks[i] |= bits
+			return
+		}
+	}
+}
+
+// clearBit removes one core's bit, deleting the entry when it empties.
+func (d *dirTable) clearBit(tag uint64, bit uint32) {
+	mask := uint64(len(d.tags) - 1)
+	for i := d.slot(tag); ; i = (i + 1) & mask {
+		if d.masks[i] == 0 {
+			return
+		}
+		if d.tags[i] == tag {
+			if m := d.masks[i] &^ bit; m != 0 {
+				d.masks[i] = m
+			} else {
+				d.deleteAt(i)
+			}
+			return
+		}
+	}
+}
+
+// delete removes tag's entry if present.
+func (d *dirTable) delete(tag uint64) {
+	mask := uint64(len(d.tags) - 1)
+	for i := d.slot(tag); ; i = (i + 1) & mask {
+		if d.masks[i] == 0 {
+			return
+		}
+		if d.tags[i] == tag {
+			d.deleteAt(i)
+			return
+		}
+	}
+}
+
+// deleteAt empties slot i, backward-shifting the probe chain behind it so
+// linear probing never needs tombstones.
+func (d *dirTable) deleteAt(i uint64) {
+	mask := uint64(len(d.tags) - 1)
+	d.masks[i] = 0
+	d.used--
+	for j := (i + 1) & mask; d.masks[j] != 0; j = (j + 1) & mask {
+		home := d.slot(d.tags[j])
+		// Shift j back into i only if i lies within [home, j) cyclically —
+		// i.e. the entry's probe chain passes through the emptied slot.
+		if (j-home)&mask >= (j-i)&mask {
+			d.tags[i] = d.tags[j]
+			d.masks[i] = d.masks[j]
+			d.masks[j] = 0
+			i = j
+		}
+	}
+}
+
+func (d *dirTable) grow() {
+	oldTags, oldMasks := d.tags, d.masks
+	d.tags = make([]uint64, len(oldTags)*2)
+	d.masks = make([]uint32, len(oldMasks)*2)
+	d.used = 0
+	for i, m := range oldMasks {
+		if m != 0 {
+			d.set(oldTags[i], m)
+		}
+	}
+}
+
+// len returns the number of live entries (for tests and invariants).
+func (d *dirTable) len() int { return d.used }

@@ -15,7 +15,15 @@ type Hierarchy struct {
 	// directory maps a line tag to the bitmask of cores whose private
 	// hierarchy may hold it. Maintained on private fills and evictions;
 	// consulted on writes to shared lines and on back-invalidations.
-	directory map[uint64]uint32
+	directory *dirTable
+	// coherent is false on single-core hierarchies, where no other core
+	// can ever hold a line: the whole directory protocol is skipped, so
+	// the per-access path does no coherence bookkeeping and the directory
+	// cannot grow.
+	coherent bool
+	// lastPriv caches the index of the deepest private level (-1 if all
+	// levels are shared); it is consulted on every fill.
+	lastPriv int
 
 	prefetchers []*strideTable
 	tlbs        []*tlb
@@ -36,7 +44,7 @@ func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
 	if numCores <= 0 {
 		return nil, fmt.Errorf("core count %d", numCores)
 	}
-	h := &Hierarchy{cfg: cfg, numCores: numCores, directory: make(map[uint64]uint32)}
+	h := &Hierarchy{cfg: cfg, numCores: numCores, directory: newDirTable()}
 	for s := cfg.LineSize; s > 1; s >>= 1 {
 		h.lineShift++
 	}
@@ -51,6 +59,13 @@ func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
 		}
 		h.levels = append(h.levels, insts)
 	}
+	h.lastPriv = -1
+	for i, lc := range cfg.Levels {
+		if !lc.Shared {
+			h.lastPriv = i
+		}
+	}
+	h.coherent = numCores > 1 && h.lastPriv >= 0
 	if cfg.Prefetch {
 		h.prefetchers = make([]*strideTable, numCores)
 		for i := range h.prefetchers {
@@ -82,15 +97,7 @@ func (h *Hierarchy) inst(levelIdx, core int) *level {
 }
 
 // lastPrivate returns the index of the deepest private level, or -1.
-func (h *Hierarchy) lastPrivate() int {
-	lp := -1
-	for i, lc := range h.cfg.Levels {
-		if !lc.Shared {
-			lp = i
-		}
-	}
-	return lp
-}
+func (h *Hierarchy) lastPrivate() int { return h.lastPriv }
 
 // Access performs one demand access by core to addr. pc is the accessing
 // instruction's address (used by the prefetcher). Accesses that span two
@@ -144,8 +151,9 @@ func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result 
 	}
 
 	// Write semantics: writing a line that another core may hold must
-	// invalidate the other copies (MESI write-invalidate).
-	if write {
+	// invalidate the other copies (MESI write-invalidate). Single-core
+	// hierarchies have no other copies: the whole protocol is skipped.
+	if write && h.coherent {
 		if hitLine != nil && hitLevel < len(h.levels) && !h.cfg.Levels[hitLevel].Shared && !hitLine.shared {
 			// Exclusive in our own private hierarchy: silent upgrade.
 		} else {
@@ -159,11 +167,14 @@ func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result 
 	if fillTo < 0 {
 		fillTo = len(h.levels)
 	}
-	sharedByOthers := h.heldByOthers(core, tag)
-	if sharedByOthers && !write && fillTo > 0 {
-		// Another core holds the line exclusive/modified; a read fill
-		// downgrades its copy to shared so its next write probes us.
-		h.downgradeOthers(core, tag)
+	sharedByOthers := false
+	if h.coherent {
+		sharedByOthers = h.heldByOthers(core, tag)
+		if sharedByOthers && !write && fillTo > 0 {
+			// Another core holds the line exclusive/modified; a read fill
+			// downgrades its copy to shared so its next write probes us.
+			h.downgradeOthers(core, tag)
+		}
 	}
 	for li := fillTo - 1; li >= 0; li-- {
 		h.fillLevel(li, core, tag, write, sharedByOthers)
@@ -175,7 +186,7 @@ func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result 
 	}
 	// Record directory occupancy only when a private fill happened; an L1
 	// hit means the bit is already set.
-	if hitLevel != 0 {
+	if h.coherent && hitLevel != 0 {
 		h.noteDirectoryFill(core, tag)
 	}
 
@@ -194,7 +205,19 @@ func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
 	if h.cfg.Levels[li].Shared {
 		// Shared level eviction: kick the line out of every core that
 		// holds it (per the directory), then drop the directory entry.
-		if mask, ok := h.directory[victimTag]; ok && mask != 0 {
+		// Without coherence (one core) there is no directory; probe the
+		// single core's private levels directly — invalidate is
+		// presence-checked, so the counters move exactly as before.
+		if !h.coherent {
+			for lj := li - 1; lj >= 0; lj-- {
+				if dirtyWB, present := h.inst(lj, core).invalidate(victimTag); present {
+					h.invalidations++
+					if dirtyWB {
+						h.writeBacks++
+					}
+				}
+			}
+		} else if mask := h.directory.get(victimTag); mask != 0 {
 			for c := 0; c < h.numCores; c++ {
 				if mask&(1<<uint(c)) == 0 {
 					continue
@@ -208,7 +231,7 @@ func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
 					}
 				}
 			}
-			delete(h.directory, victimTag)
+			h.directory.delete(victimTag)
 		}
 	} else {
 		// Private level eviction: back-invalidate this core's levels
@@ -222,24 +245,24 @@ func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
 				}
 			}
 		}
-		if li == h.lastPrivate() {
+		if h.coherent && li == h.lastPriv {
 			h.clearDirectoryBit(core, victimTag)
 		}
 	}
 }
 
 // heldByOthers reports whether any other core's private hierarchy may hold
-// the line.
+// the line. Only called on coherent (multi-core) hierarchies.
 func (h *Hierarchy) heldByOthers(core int, tag uint64) bool {
-	mask := h.directory[tag]
+	mask := h.directory.get(tag)
 	return mask&^(1<<uint(core)) != 0
 }
 
 // invalidateOthers removes the line from every other core's private
 // levels (a write-invalidate probe).
 func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
-	mask, ok := h.directory[tag]
-	if !ok {
+	mask := h.directory.get(tag)
+	if mask == 0 {
 		return
 	}
 	others := mask &^ (1 << uint(core))
@@ -262,13 +285,13 @@ func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
 			}
 		}
 	}
-	h.directory[tag] = mask & (1 << uint(core))
+	h.directory.set(tag, mask&(1<<uint(core)))
 }
 
 // downgradeOthers marks the line shared in every other core's private
 // levels, so a later write hit there consults the directory.
 func (h *Hierarchy) downgradeOthers(core int, tag uint64) {
-	mask := h.directory[tag] &^ (1 << uint(core))
+	mask := h.directory.get(tag) &^ (1 << uint(core))
 	if mask == 0 {
 		return
 	}
@@ -288,21 +311,11 @@ func (h *Hierarchy) downgradeOthers(core int, tag uint64) {
 }
 
 func (h *Hierarchy) noteDirectoryFill(core int, tag uint64) {
-	if h.lastPrivate() < 0 {
-		return
-	}
-	h.directory[tag] |= 1 << uint(core)
+	h.directory.or(tag, 1<<uint(core))
 }
 
 func (h *Hierarchy) clearDirectoryBit(core int, tag uint64) {
-	if mask, ok := h.directory[tag]; ok {
-		mask &^= 1 << uint(core)
-		if mask == 0 {
-			delete(h.directory, tag)
-		} else {
-			h.directory[tag] = mask
-		}
-	}
+	h.directory.clearBit(tag, 1<<uint(core))
 }
 
 // --- Prefetcher ----------------------------------------------------------
@@ -388,10 +401,11 @@ func (h *Hierarchy) prefetchFill(core int, tag uint64) {
 	if len(h.levels) == 1 {
 		start = 0
 	}
+	shared := h.coherent && h.heldByOthers(core, tag)
 	for li := len(h.levels) - 1; li >= start; li-- {
-		h.fillLevel(li, core, tag, false, h.heldByOthers(core, tag))
+		h.fillLevel(li, core, tag, false, shared)
 	}
-	if h.lastPrivate() >= start {
+	if h.coherent && h.lastPriv >= start {
 		h.noteDirectoryFill(core, tag)
 	}
 }

@@ -33,11 +33,18 @@ func checkInclusion(t *testing.T, h *Hierarchy) {
 
 // checkDirectory asserts that every valid line in a core's private
 // hierarchy has its directory bit set (the converse may transiently not
-// hold, which is safe: spurious probes, never missed ones).
+// hold, which is safe: spurious probes, never missed ones). Single-core
+// hierarchies carry no directory at all.
 func checkDirectory(t *testing.T, h *Hierarchy) {
 	t.Helper()
 	lp := h.lastPrivate()
 	if lp < 0 {
+		return
+	}
+	if !h.coherent {
+		if n := h.directory.len(); n != 0 {
+			t.Fatalf("single-core hierarchy grew a %d-entry directory", n)
+		}
 		return
 	}
 	for core := 0; core < h.numCores; core++ {
@@ -48,7 +55,7 @@ func checkDirectory(t *testing.T, h *Hierarchy) {
 					if !ln.valid {
 						continue
 					}
-					if h.directory[ln.tag]&(1<<uint(core)) == 0 {
+					if h.directory.get(ln.tag)&(1<<uint(core)) == 0 {
 						t.Fatalf("directory lost core %d's line %#x (level %s)",
 							core, ln.tag, h.cfg.Levels[li].Name)
 					}

@@ -80,6 +80,11 @@ type Space struct {
 	// sorted incrementally (allocations are already in ascending order per
 	// segment, but statics and heap interleave).
 	sortedBase []*Object
+
+	// lastObj caches the most recent FindObject hit: stride-friendly
+	// access streams resolve the same object many times in a row, so the
+	// common case is one range check instead of a binary search.
+	lastObj *Object
 }
 
 // NewSpace returns an empty address space.
@@ -217,6 +222,9 @@ func (s *Space) addObject(o *Object) {
 // FindObject resolves an effective address to the object containing it,
 // or nil. This is data-centric attribution's address→object map.
 func (s *Space) FindObject(addr uint64) *Object {
+	if o := s.lastObj; o != nil && addr >= o.Base && addr < o.Base+o.Size {
+		return o
+	}
 	i := sort.Search(len(s.sortedBase), func(i int) bool { return s.sortedBase[i].Base > addr })
 	if i == 0 {
 		return nil
@@ -225,6 +233,7 @@ func (s *Space) FindObject(addr uint64) *Object {
 	if addr >= o.Base+o.Size {
 		return nil
 	}
+	s.lastObj = o
 	return o
 }
 

@@ -29,6 +29,25 @@ func ReadThreadProfile(r io.Reader) (*ThreadProfile, error) {
 	return tp, nil
 }
 
+// WriteProfile serializes a merged whole-program profile. Merged
+// profiles are what the offline analyzer consumes, so persisting them
+// lets one profiled run feed many analysis sessions.
+func WriteProfile(w io.Writer, p *Profile) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// ReadProfile deserializes a merged whole-program profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	p := &Profile{}
+	if err := gob.NewDecoder(r).Decode(p); err != nil {
+		return nil, fmt.Errorf("decoding profile: %w", err)
+	}
+	if p.Streams == nil {
+		p.Streams = make(map[StreamKey]*StreamStat)
+	}
+	return p, nil
+}
+
 // profileFileName names the per-thread profile file.
 func profileFileName(tid int) string { return fmt.Sprintf("profile.%d.gob", tid) }
 

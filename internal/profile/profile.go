@@ -128,6 +128,13 @@ type ThreadProfile struct {
 	AppCycles      uint64
 	OverheadCycles uint64
 	MemOps         uint64
+
+	// lastKey/lastStat cache the most recently updated stream: samples of
+	// a hot loop land on the same stream repeatedly, so the common case
+	// skips the StreamKey map lookup. Unexported, so gob round-trips are
+	// unaffected.
+	lastKey  StreamKey
+	lastStat *StreamStat
 }
 
 // NewThreadProfile returns an empty profile for one thread.
@@ -145,10 +152,14 @@ func (tp *ThreadProfile) Add(s Sample, identity uint64) {
 	tp.NumSamples++
 	tp.TotalLatency += uint64(s.Latency)
 	key := StreamKey{IP: s.IP, Ctx: s.Ctx, Identity: identity}
-	st := tp.Streams[key]
-	if st == nil {
-		st = &StreamStat{IP: s.IP, Identity: identity}
-		tp.Streams[key] = st
+	st := tp.lastStat
+	if st == nil || key != tp.lastKey {
+		st = tp.Streams[key]
+		if st == nil {
+			st = &StreamStat{IP: s.IP, Identity: identity}
+			tp.Streams[key] = st
+		}
+		tp.lastKey, tp.lastStat = key, st
 	}
 	st.Observe(s.EA, s.Latency, s.Write, s.ObjID)
 }

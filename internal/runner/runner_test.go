@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoDeduplicates: many concurrent submissions of one key run once and
+// all see the same result.
+func TestDoDeduplicates(t *testing.T) {
+	p := New(4)
+	var runs int32
+	var wg sync.WaitGroup
+	results := make([]any, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.Do("job", func() (any, error) {
+				atomic.AddInt32(&runs, 1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("job ran %d times, want 1", runs)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("submission %d got %v", i, v)
+		}
+	}
+	started, deduped := p.Stats()
+	if started != 1 || deduped != 15 {
+		t.Fatalf("stats: started=%d deduped=%d, want 1/15", started, deduped)
+	}
+}
+
+// TestDoCachesAcrossCalls: a later submission of a finished key is a
+// cache hit.
+func TestDoCachesAcrossCalls(t *testing.T) {
+	p := New(1)
+	var runs int
+	for i := 0; i < 3; i++ {
+		v, err := p.Do("k", func() (any, error) { runs++; return "x", nil })
+		if err != nil || v != "x" {
+			t.Fatalf("got %v, %v", v, err)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("ran %d times, want 1", runs)
+	}
+}
+
+// TestBoundedConcurrency: at most `workers` job bodies run at once, even
+// when far more are submitted.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.Do(fmt.Sprintf("job-%d", i), func() (any, error) {
+				n := atomic.AddInt32(&cur, 1)
+				for {
+					old := atomic.LoadInt32(&peak)
+					if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				atomic.AddInt32(&cur, -1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", peak, workers)
+	}
+}
+
+// TestCollectOrder: results come back in input order regardless of
+// completion order, and errors surface in input order.
+func TestCollectOrder(t *testing.T) {
+	p := New(4)
+	jobs := []int{5, 3, 1, 4, 2}
+	out, err := Collect(p, jobs, func(n int) (int, error) {
+		return Cached(p, fmt.Sprintf("sq-%d", n), func() (int, error) {
+			time.Sleep(time.Duration(n) * time.Millisecond) // finish out of order
+			return n * n, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range jobs {
+		if out[i] != n*n {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], n*n)
+		}
+	}
+
+	_, err = Collect(p, jobs, func(n int) (int, error) {
+		if n%2 == 1 {
+			return 0, fmt.Errorf("odd %d", n)
+		}
+		return n, nil
+	})
+	if err == nil || err.Error() != "odd 5" {
+		t.Fatalf("want first-in-input-order error 'odd 5', got %v", err)
+	}
+}
+
+// TestGoFuture: async submission shares the dedup cache with Do.
+func TestGoFuture(t *testing.T) {
+	p := New(2)
+	var runs int32
+	f := p.Go("k", func() (any, error) {
+		atomic.AddInt32(&runs, 1)
+		return 7, nil
+	})
+	v1, err1 := f.Wait()
+	v2, err2 := p.Do("k", func() (any, error) {
+		atomic.AddInt32(&runs, 1)
+		return 8, nil
+	})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if v1 != 7 || v2 != 7 {
+		t.Fatalf("got %v / %v, want 7 / 7", v1, v2)
+	}
+	if runs != 1 {
+		t.Fatalf("ran %d times, want 1", runs)
+	}
+}
+
+// TestPanicBecomesError: a panicking job reports an error instead of
+// crashing the pool, and does not wedge waiters.
+func TestPanicBecomesError(t *testing.T) {
+	p := New(1)
+	_, err := p.Do("boom", func() (any, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	// The pool must still be usable.
+	v, err := p.Do("ok", func() (any, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("pool wedged after panic: %v, %v", v, err)
+	}
+}
+
+// TestCachedTypeMismatch: a key reused at a different type fails loudly
+// rather than silently corrupting a consumer.
+func TestCachedTypeMismatch(t *testing.T) {
+	p := New(1)
+	if _, err := Cached(p, "k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Cached(p, "k", func() (string, error) { return "s", nil }); err == nil {
+		t.Fatal("want type-mismatch error")
+	}
+}
+
+// TestSequentialPoolComposition: workers=1 with orchestrations that chain
+// leaf jobs must not deadlock (orchestration holds no token while
+// waiting).
+func TestSequentialPoolComposition(t *testing.T) {
+	p := New(1)
+	out, err := Collect(p, []int{1, 2, 3}, func(n int) (int, error) {
+		a, err := Cached(p, fmt.Sprintf("a-%d", n), func() (int, error) { return n, nil })
+		if err != nil {
+			return 0, err
+		}
+		return Cached(p, fmt.Sprintf("b-%d", n), func() (int, error) { return a * 10, nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 10 || out[1] != 20 || out[2] != 30 {
+		t.Fatalf("got %v", out)
+	}
+}

@@ -4,11 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/cache"
-	"repro/internal/groundtruth"
-	"repro/internal/vm"
 	"repro/internal/workloads"
-	"repro/structslim"
 )
 
 // BaselineRow compares one profiling technique on a workload.
@@ -30,85 +26,7 @@ type BaselineRow struct {
 // bonus the paper could not measure, the sampled analysis's accuracy
 // against the instrumented ground truth.
 func BaselineComparison(name string, opt Options) ([]BaselineRow, error) {
-	w, err := workloads.Get(name)
-	if err != nil {
-		return nil, err
-	}
-
-	runInstrumented := func(kind groundtruth.Kind) (*groundtruth.Exact, float64, error) {
-		p, phases, err := w.Build(nil, opt.Scale)
-		if err != nil {
-			return nil, 0, err
-		}
-		m, err := vm.NewMachine(p, cache.DefaultConfig(), maxCore(phases)+1, vm.Config{})
-		if err != nil {
-			return nil, 0, err
-		}
-		rec, err := groundtruth.NewRecorder(groundtruth.Config{Kind: kind}, m.Space, p)
-		if err != nil {
-			return nil, 0, err
-		}
-		m.Observer = rec
-		var wall, app uint64
-		for _, ph := range phases {
-			st, err := m.Run(ph)
-			if err != nil {
-				return nil, 0, err
-			}
-			wall += st.WallCycles
-			app += st.AppWallCycles
-		}
-		factor := 1.0
-		if app > 0 {
-			factor = float64(wall) / float64(app)
-		}
-		return rec.Report(), factor, nil
-	}
-
-	// Exact ground truth (and the counting baseline's cost) in one run.
-	exact, countFactor, err := runInstrumented(groundtruth.KindCounting)
-	if err != nil {
-		return nil, err
-	}
-	_, reuseFactor, err := runInstrumented(groundtruth.KindReuse)
-	if err != nil {
-		return nil, err
-	}
-
-	// Sampling run.
-	p, phases, err := w.Build(nil, opt.Scale)
-	if err != nil {
-		return nil, err
-	}
-	res, rep, err := structslim.ProfileAndAnalyze(p, phases, opt.runOptions())
-	if err != nil {
-		return nil, err
-	}
-
-	// Accuracy of the sampled shares against ground truth, over the hot
-	// structure.
-	var maxErr float64
-	if w.Record() != nil {
-		if sr := structslim.FindStruct(rep, w.Record().Name); sr != nil {
-			if exactShares, ok := exact.FieldShare[sr.Identity]; ok {
-				for _, f := range sr.Fields {
-					d := f.Share - exactShares[f.Offset]
-					if d < 0 {
-						d = -d
-					}
-					if d > maxErr {
-						maxErr = d
-					}
-				}
-			}
-		}
-	}
-
-	return []BaselineRow{
-		{Technique: "StructSlim sampling", Slowdown: 1 + res.Stats.OverheadPct()/100, MaxShareError: maxErr},
-		{Technique: "access-frequency instrumentation", Slowdown: countFactor},
-		{Technique: "reuse-distance instrumentation", Slowdown: reuseFactor},
-	}, nil
+	return NewEngine(opt).BaselineComparison(name)
 }
 
 func maxCore(phases []workloads.Phase) int {

@@ -12,26 +12,10 @@ import (
 	"repro/structslim"
 )
 
-// AnalyzeART runs the profiled ART pipeline once; Tables 5 and 6 and
-// Figure 6 all read from its report.
+// AnalyzeART runs the profiled ART pipeline on a one-shot engine;
+// Tables 5 and 6 and Figure 6 all read from its report.
 func AnalyzeART(opt Options) (*core.StructReport, error) {
-	w, err := workloads.Get("art")
-	if err != nil {
-		return nil, err
-	}
-	p, phases, err := w.Build(nil, opt.Scale)
-	if err != nil {
-		return nil, err
-	}
-	_, rep, err := structslim.ProfileAndAnalyze(p, phases, opt.runOptions())
-	if err != nil {
-		return nil, err
-	}
-	sr := structslim.FindStruct(rep, "f1_neuron")
-	if sr == nil {
-		return nil, fmt.Errorf("f1_neuron not identified")
-	}
-	return sr, nil
+	return NewEngine(opt).AnalyzeART()
 }
 
 // WriteTable5 prints ART's per-field latency shares, paper vs measured.
@@ -78,27 +62,13 @@ type OverheadPoint struct {
 }
 
 // SuiteOverheads profiles every workload of a suite and reports the
-// measurement overhead of each (Figures 4 and 5).
+// measurement overhead of each (Figures 4 and 5), on a one-shot engine.
 func SuiteOverheads(suite string, opt Options) ([]OverheadPoint, error) {
-	var out []OverheadPoint
-	for _, w := range workloads.BySuite(suite) {
-		p, phases, err := w.Build(nil, opt.Scale)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name(), err)
-		}
-		res, err := structslim.ProfileRun(p, phases, opt.runOptions())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name(), err)
-		}
-		out = append(out, OverheadPoint{
-			Name:        w.Name(),
-			OverheadPct: res.Stats.OverheadPct(),
-			Samples:     res.Profile.NumSamples,
-			MemOps:      res.Stats.MemOps,
-		})
-	}
+	return NewEngine(opt).SuiteOverheads(suite)
+}
+
+func sortOverheads(out []OverheadPoint) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
 }
 
 // WriteOverheadFigure prints one overhead figure as a text bar chart.
@@ -114,20 +84,10 @@ func WriteOverheadFigure(w io.Writer, title string, points []OverheadPoint, pape
 }
 
 // SplitFigure runs the pipeline for one paper benchmark and renders its
-// advised struct definitions — Figures 7 through 13.
+// advised struct definitions — Figures 7 through 13 — on a one-shot
+// engine.
 func SplitFigure(w io.Writer, name string, opt Options) error {
-	wl, err := workloads.Get(name)
-	if err != nil {
-		return err
-	}
-	r, err := RunBenchmark(wl, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "Structure splitting of %s (%s):\n", r.HotStruct.TypeName, name)
-	fmt.Fprint(w, r.HotStruct.RenderAdvice())
-	fmt.Fprintf(w, "(speedup %.2fx)\n", r.Speedup)
-	return nil
+	return NewEngine(opt).SplitFigure(w, name)
 }
 
 // FigureNumberFor maps the paper's figure numbers 7–13 to benchmarks.
@@ -154,51 +114,36 @@ type RobustnessRow struct {
 }
 
 // PeriodRobustness profiles one paper workload across sampling periods
-// and checks whether the analysis outcome survives. hotField names a
-// field whose advised group must equal wantGroup (sorted, comma-joined).
+// and checks whether the analysis outcome survives, on a one-shot
+// engine. hotField names a field whose advised group must equal
+// wantGroup (sorted, comma-joined).
 func PeriodRobustness(name string, periods []uint64, hotField, wantGroup string, opt Options) ([]RobustnessRow, error) {
-	w, err := workloads.Get(name)
-	if err != nil {
-		return nil, err
+	return NewEngine(opt).PeriodRobustness(name, periods, hotField, wantGroup)
+}
+
+// fillRobustness judges one period's analysis outcome: did the size
+// inference and the advised grouping survive the sparser sampling?
+func fillRobustness(row *RobustnessRow, rep *core.Report, w workloads.Workload, hotField, wantGroup string) {
+	sr := structslim.FindStruct(rep, w.Record().Name)
+	if sr == nil {
+		return
 	}
-	var rows []RobustnessRow
-	for _, period := range periods {
-		o := opt
-		o.SamplePeriod = period
-		p, phases, err := w.Build(nil, o.Scale)
-		if err != nil {
-			return nil, err
-		}
-		res, rep, err := structslim.ProfileAndAnalyze(p, phases, o.runOptions())
-		if err != nil {
-			return nil, err
-		}
-		row := RobustnessRow{
-			Period:      period,
-			Samples:     res.Profile.NumSamples,
-			OverheadPct: res.Stats.OverheadPct(),
-		}
-		if sr := structslim.FindStruct(rep, w.Record().Name); sr != nil {
-			row.SizeOK = sr.TrueSize > 0 && sr.InferredSize > 0 &&
-				sr.InferredSize%uint64(sr.TrueSize) == 0
-			if !row.SizeOK && sr.InferredSize >= uint64(sr.TrueSize) && sr.InferredSize%16 == 0 {
-				row.SizeOK = true // heap-padded multiple (e.g. TSP's 64 for 56)
-			}
-			if sr.Advice != nil {
-				for _, g := range sr.Advice.Groups {
-					for _, f := range g {
-						if f == hotField {
-							sorted := append([]string(nil), g...)
-							sort.Strings(sorted)
-							row.AdviceOK = strings.Join(sorted, ",") == wantGroup
-						}
-					}
+	row.SizeOK = sr.TrueSize > 0 && sr.InferredSize > 0 &&
+		sr.InferredSize%uint64(sr.TrueSize) == 0
+	if !row.SizeOK && sr.InferredSize >= uint64(sr.TrueSize) && sr.InferredSize%16 == 0 {
+		row.SizeOK = true // heap-padded multiple (e.g. TSP's 64 for 56)
+	}
+	if sr.Advice != nil {
+		for _, g := range sr.Advice.Groups {
+			for _, f := range g {
+				if f == hotField {
+					sorted := append([]string(nil), g...)
+					sort.Strings(sorted)
+					row.AdviceOK = strings.Join(sorted, ",") == wantGroup
 				}
 			}
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
 }
 
 // WriteRobustness prints the period sweep.
@@ -220,25 +165,9 @@ func WriteRobustness(w io.Writer, name string, rows []RobustnessRow) {
 // CaseStudies runs the beyond-paper record workloads (mcf's arc array,
 // streamcluster's Point — both known splitting targets in the layout
 // literature) through the full pipeline and prints their advice and
-// payoff.
+// payoff, on a one-shot engine.
 func CaseStudies(w io.Writer, opt Options) error {
-	for _, name := range []string{"mcf", "streamcluster"} {
-		wl, err := workloads.Get(name)
-		if err != nil {
-			return err
-		}
-		r, err := RunBenchmark(wl, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "Case study %s (%s): %s\n", name, wl.Suite(), wl.Description())
-		fmt.Fprintf(w, "  hot structure %s: l_d=%.1f%%, size %d (debug %d)\n",
-			r.HotStruct.Name, 100*r.HotStruct.Ld, r.HotStruct.InferredSize, r.HotStruct.TrueSize)
-		fmt.Fprint(w, indentLines(r.HotStruct.RenderAdvice(), "  "))
-		fmt.Fprintf(w, "  speedup %.2fx, L1/L2 miss reduction %.1f%% / %.1f%%\n\n",
-			r.Speedup, r.MissReduction("L1"), r.MissReduction("L2"))
-	}
-	return nil
+	return NewEngine(opt).CaseStudies(w)
 }
 
 func indentLines(s, pad string) string {

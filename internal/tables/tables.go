@@ -23,6 +23,20 @@ type Options struct {
 	// SamplePeriod for the profiled runs; 0 = the paper's 10,000.
 	SamplePeriod uint64
 	Seed         uint64
+	// Parallel bounds how many simulations the experiment engine runs
+	// concurrently; 0 or 1 runs sequentially. Results are byte-identical
+	// at any setting: every simulation is deterministically seeded and
+	// owns its machine, and tables render in workload order.
+	Parallel int
+}
+
+// effectivePeriod is the sampling period after defaulting; result-cache
+// keys use it so explicit-10,000 and defaulted runs share entries.
+func (o Options) effectivePeriod() uint64 {
+	if o.SamplePeriod == 0 {
+		return 10_000
+	}
+	return o.SamplePeriod
 }
 
 func (o Options) runOptions() structslim.Options {
@@ -66,81 +80,17 @@ func (r *BenchResult) MissReduction(level string) float64 {
 	return 100 * (float64(o) - float64(s)) / float64(o)
 }
 
-// RunBenchmark executes the end-to-end pipeline for one paper workload.
+// RunBenchmark executes the end-to-end pipeline for one paper workload
+// on a one-shot engine. Callers regenerating several artifacts should
+// share one Engine so repeated simulations are deduplicated.
 func RunBenchmark(w workloads.Workload, opt Options) (*BenchResult, error) {
-	ropt := opt.runOptions()
-
-	// 1. Profiled run of the original layout: measurement overhead and
-	// splitting advice.
-	p, phases, err := w.Build(nil, opt.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("%s: build: %w", w.Name(), err)
-	}
-	res, rep, err := structslim.ProfileAndAnalyze(p, phases, ropt)
-	if err != nil {
-		return nil, fmt.Errorf("%s: profile: %w", w.Name(), err)
-	}
-	sr := structslim.FindStruct(rep, w.Record().Name)
-	if sr == nil {
-		return nil, fmt.Errorf("%s: hot record %s not identified", w.Name(), w.Record().Name)
-	}
-	layout, err := structslim.Optimize(w.Record(), sr)
-	if err != nil {
-		return nil, fmt.Errorf("%s: optimize: %w", w.Name(), err)
-	}
-
-	// 2. Unprofiled runs of both layouts ("original execution time" and
-	// "after structure splitting").
-	measure := func(l *prog.PhysLayout) (uint64, map[string]uint64, error) {
-		p, phases, err := w.Build(l, opt.Scale)
-		if err != nil {
-			return 0, nil, err
-		}
-		st, err := structslim.Run(p, phases, ropt)
-		if err != nil {
-			return 0, nil, err
-		}
-		misses := make(map[string]uint64, len(st.Cache.Levels))
-		for _, ls := range st.Cache.Levels {
-			misses[ls.Name] = ls.Misses
-		}
-		return st.AppWallCycles, misses, nil
-	}
-	origCycles, origMisses, err := measure(nil)
-	if err != nil {
-		return nil, fmt.Errorf("%s: baseline run: %w", w.Name(), err)
-	}
-	splitCycles, splitMisses, err := measure(layout)
-	if err != nil {
-		return nil, fmt.Errorf("%s: split run: %w", w.Name(), err)
-	}
-
-	return &BenchResult{
-		Workload:    w,
-		Report:      rep,
-		HotStruct:   sr,
-		SplitLayout: layout,
-		OrigCycles:  origCycles,
-		SplitCycles: splitCycles,
-		Speedup:     float64(origCycles) / float64(splitCycles),
-		OverheadPct: res.Stats.OverheadPct(),
-		OrigMisses:  origMisses,
-		SplitMisses: splitMisses,
-	}, nil
+	return NewEngine(opt).RunBenchmark(w)
 }
 
 // RunPaperBenchmarks runs the full pipeline for all seven benchmarks in
-// table order.
+// table order on a one-shot engine.
 func RunPaperBenchmarks(opt Options) ([]*BenchResult, error) {
-	var out []*BenchResult
-	for _, w := range workloads.Paper() {
-		r, err := RunBenchmark(w, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return NewEngine(opt).RunPaperBenchmarks()
 }
 
 // --- Published reference values -------------------------------------------

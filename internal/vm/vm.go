@@ -49,6 +49,9 @@ type MemEvent struct {
 // value is extra cycles to charge the thread's overhead account (e.g. the
 // cost of a sampling interrupt when the observer decides to take a
 // sample). Observers must be cheap: they run inline in the interpreter.
+// The event is only valid for the duration of the call — the machine
+// reuses one event across accesses so the hot path does not allocate;
+// observers that keep data must copy it out.
 type AccessObserver interface {
 	OnAccess(ev *MemEvent) (overheadCycles uint64)
 }
@@ -151,6 +154,12 @@ type Machine struct {
 
 	globalBase []uint64
 	cfg        Config
+
+	// evScratch is the MemEvent handed to the observer. Reusing one
+	// machine-owned event keeps the per-access path allocation-free: a
+	// stack-local event would escape through the interface call and cost
+	// one heap allocation per observed access.
+	evScratch MemEvent
 }
 
 // NewMachine loads the program: it finalizes it if needed, places static
@@ -230,24 +239,33 @@ func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 	return m.stats(), nil
 }
 
-// stepThread runs up to quantum instructions of one thread.
+// stepThread runs up to quantum instructions of one thread. The machine's
+// hot fields (address space, hierarchy, observer) are hoisted into locals
+// so the dispatch loop reads them without pointer-chasing through m, and
+// the instruction slice of the current block is kept in a local to keep
+// the bounds check and indexing flat.
 func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 	p := m.Prog
+	space := m.Space
+	caches := m.Caches
+	obs := m.Observer
 	f := p.Funcs[t.fn]
 	blk := f.Blocks[t.blk]
+	instrs := blk.Instrs
 	regs := &t.Regs
 	var done uint64
 
 	for int(done) < quantum {
-		if t.idx >= len(blk.Instrs) {
+		if t.idx >= len(instrs) {
 			// Fallthrough to the next block (Finalize guarantees the last
 			// block of a function ends in a terminator).
 			t.blk++
 			t.idx = 0
 			blk = f.Blocks[t.blk]
+			instrs = blk.Instrs
 			continue
 		}
-		in := &blk.Instrs[t.idx]
+		in := &instrs[t.idx]
 		t.idx++
 		done++
 		t.Instrs++
@@ -311,32 +329,40 @@ func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 			size := int(in.Size)
 			write := in.Op == isa.Store
 			if write {
-				m.Space.WriteInt(ea, size, regs[in.Rd])
+				space.WriteInt(ea, size, regs[in.Rd])
 			}
-			res := m.Caches.Access(t.Core, in.IP, ea, size, write)
+			res := caches.Access(t.Core, in.IP, ea, size, write)
 			t.Cycles += uint64(res.Latency)
 			t.MemOps++
 			if !write {
-				regs[in.Rd] = m.Space.ReadInt(ea, size)
+				regs[in.Rd] = space.ReadInt(ea, size)
 			}
-			if m.Observer != nil {
-				ev := MemEvent{
-					TID: t.ID, IP: in.IP, EA: ea, Size: in.Size,
-					Write: write, Latency: res.Latency, Level: res.Level,
-					Cycle: t.Now(), Instrs: t.Instrs, Ctx: t.ctx(),
-				}
-				t.OverheadCycles += m.Observer.OnAccess(&ev)
+			if obs != nil {
+				ev := &m.evScratch
+				ev.TID = t.ID
+				ev.IP = in.IP
+				ev.EA = ea
+				ev.Size = in.Size
+				ev.Write = write
+				ev.Latency = res.Latency
+				ev.Level = res.Level
+				ev.Cycle = t.Now()
+				ev.Instrs = t.Instrs
+				ev.Ctx = t.ctx()
+				t.OverheadCycles += obs.OnAccess(ev)
 			}
 
 		case isa.Jmp:
 			t.blk = in.Target
 			t.idx = 0
 			blk = f.Blocks[t.blk]
+			instrs = blk.Instrs
 		case isa.Br:
 			if in.Cmp.Eval(regs[in.Rs1], regs[in.Rs2]) {
 				t.blk = in.Target
 				t.idx = 0
 				blk = f.Blocks[t.blk]
+				instrs = blk.Instrs
 			}
 		case isa.Call:
 			fr := frame{fn: t.fn, blk: t.blk, idx: t.idx, callIP: in.IP}
@@ -349,6 +375,7 @@ func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 			t.idx = 0
 			f = p.Funcs[t.fn]
 			blk = f.Blocks[0]
+			instrs = blk.Instrs
 		case isa.Ret:
 			if len(t.frames) == 0 {
 				// Returning from the thread's root function halts it.
@@ -365,6 +392,7 @@ func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 			t.fn, t.blk, t.idx = fr.fn, fr.blk, fr.idx
 			f = p.Funcs[t.fn]
 			blk = f.Blocks[t.blk]
+			instrs = blk.Instrs
 		case isa.Halt:
 			t.Halted = true
 			return done, nil
@@ -375,7 +403,7 @@ func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 			if !ok {
 				tid = -1
 			}
-			obj := m.Space.AllocHeap(size, in.IP, t.callPath, tid)
+			obj := space.AllocHeap(size, in.IP, t.callPath, tid)
 			regs[in.Rd] = int64(obj.Base)
 			if m.AllocObserver != nil {
 				m.AllocObserver.OnAlloc(t.ID, obj)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/tables"
 	"repro/internal/workloads"
 	"repro/structslim"
 )
@@ -50,5 +51,42 @@ func TestReportRenderingDeterministic(t *testing.T) {
 		if j1 != j2 {
 			t.Fatalf("WriteJSON differs between analyses of the same profile (run %d)", run+1)
 		}
+	}
+}
+
+// TestParallelEngineDeterministic: the experiment engine must render
+// Table 3 and the Figure 6 affinity dot byte-identically whether its
+// simulations run sequentially or on four workers — worker scheduling
+// and result-cache hits must never leak into the output.
+func TestParallelEngineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full table pipelines")
+	}
+	regen := func(parallel int) string {
+		opt := tables.Options{
+			Scale:        workloads.ScaleTest,
+			SamplePeriod: 3000,
+			Seed:         7,
+			Parallel:     parallel,
+		}
+		eng := tables.NewEngine(opt)
+		results, err := eng.RunPaperBenchmarks()
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		tables.WriteTable3(&buf, results)
+		sr, err := eng.AnalyzeART()
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		tables.WriteFigure6(&buf, sr)
+		return buf.String()
+	}
+
+	seq := regen(1)
+	par := regen(4)
+	if seq != par {
+		t.Fatalf("engine output differs between sequential and 4-worker runs:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
 }
