@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke
+.PHONY: all build test race lint fmt fuzz bench bench-smoke vet-sharing
 
 all: build lint test
 
@@ -27,6 +27,13 @@ fmt:
 # fuzz: a short smoke run of the symbolic-resolver fuzzer.
 fuzz:
 	$(GO) test ./internal/staticlint/ -fuzz FuzzResolver -fuzztime 30s
+
+# vet-sharing: the false-sharing acceptance smoke — the planted fixture
+# must be flagged statically and confirmed by the coherence cross-check.
+vet-sharing:
+	$(GO) run ./cmd/structslim vet -sharing -workload falseshare | tee /tmp/vet-sharing.out
+	@grep -q "FALSE-SHARING stats._Stat" /tmp/vet-sharing.out
+	@grep -q "CONFIRMED" /tmp/vet-sharing.out
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

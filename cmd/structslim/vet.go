@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/sharing"
 	"repro/internal/staticlint"
 	"repro/internal/workloads"
 	"repro/structslim"
@@ -14,17 +16,21 @@ import (
 // runVet implements `structslim vet`: run the static stride & layout
 // analyzer over a workload, lint its registered struct layouts, and —
 // unless -static-only — profile the workload and cross-check every exact
-// static prediction against the dynamic GCD recovery (Eqs. 2–6). It
-// returns an error when predictions contradict the profile.
+// static prediction against the dynamic GCD recovery (Eqs. 2–6). With
+// -sharing it additionally classifies per-field thread sharing, predicts
+// false sharing, and validates the claims against the cache directory's
+// coherence traffic. It returns an error when predictions contradict the
+// dynamic side.
 func runVet(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
 	var (
-		name       = fs.String("workload", "", "workload to vet (see structslim -list)")
-		all        = fs.Bool("all", false, "vet every registered workload")
-		scale      = fs.String("scale", "test", "problem scale: test or bench")
-		period     = fs.Uint64("period", 2_000, "address-sampling period for the cross-check")
-		seed       = fs.Uint64("seed", 1, "sampling randomization seed")
-		staticOnly = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
+		name        = fs.String("workload", "", "workload to vet (see structslim -list)")
+		all         = fs.Bool("all", false, "vet every registered workload")
+		scale       = fs.String("scale", "test", "problem scale: test or bench")
+		period      = fs.Uint64("period", 2_000, "address-sampling period for the cross-check")
+		seed        = fs.Uint64("seed", 1, "sampling randomization seed")
+		staticOnly  = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
+		withSharing = fs.Bool("sharing", false, "also run the sharing & false-sharing analyzer with its coherence cross-check")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +60,7 @@ func runVet(args []string, out io.Writer) error {
 		if len(targets) > 1 {
 			fmt.Fprintf(out, "=== %s ===\n", w.Name())
 		}
-		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, out)
+		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, *withSharing, out)
 		if err != nil {
 			return fmt.Errorf("vet %s: %w", w.Name(), err)
 		}
@@ -68,7 +74,7 @@ func runVet(args []string, out io.Writer) error {
 	return nil
 }
 
-func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly bool, out io.Writer) (bool, error) {
+func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly, withSharing bool, out io.Writer) (bool, error) {
 	p, phases, err := w.Build(nil, sc)
 	if err != nil {
 		return false, err
@@ -93,6 +99,25 @@ func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, stati
 		r := staticlint.CrossCheck(a, res.Profile, 0)
 		r.RenderText(out)
 		ok = !r.Failed()
+	}
+	if withSharing {
+		cacheCfg := cache.DefaultConfig()
+		sa, err := sharing.Analyze(p, phases, int64(cacheCfg.LineSize), a)
+		if err != nil {
+			return false, err
+		}
+		sa.RenderText(out)
+		if !staticOnly {
+			obs, err := sharing.VerifyRun(p, phases, cacheCfg)
+			if err != nil {
+				return false, err
+			}
+			sr := sharing.CrossCheck(sa, obs)
+			sr.RenderText(out)
+			if sr.Failed() {
+				ok = false
+			}
+		}
 	}
 	staticlint.WriteFindings(out, staticlint.Lint(a, rep))
 	return ok, nil

@@ -46,3 +46,77 @@ func TestVetNeedsTarget(t *testing.T) {
 		t.Error("vet without -workload/-all should fail")
 	}
 }
+
+// TestVetSharing is the command-level acceptance check for the sharing
+// analyzer: on the planted fixture, vet -sharing must report the
+// false-sharing prediction with keep-apart advice, and the coherence
+// cross-check must confirm it.
+func TestVetSharing(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-workload", "falseshare", "-sharing"}, &out); err != nil {
+		t.Fatalf("vet -sharing failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Sharing analysis for falseshare",
+		"FALSE-SHARING stats._Stat",
+		"keep-apart: hits@0 -- ticks@8",
+		"pad struct _Stat",
+		"CONFIRMED",
+		"RESULT: ok — every exact sharing claim is consistent with observed coherence traffic",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("vet -sharing output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVetSharingStaticOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-workload", "falseshare", "-sharing", "-static-only"}, &out); err != nil {
+		t.Fatalf("vet -sharing -static-only failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "FALSE-SHARING stats._Stat") {
+		t.Errorf("static-only sharing vet lost the prediction:\n%s", s)
+	}
+	if strings.Contains(s, "coherence traffic") {
+		t.Errorf("-static-only still ran the coherence verifier:\n%s", s)
+	}
+}
+
+// TestVetSharingAll runs the sharing analyzer over every registered
+// workload statically: sequential workloads must degrade to "no thread
+// roles" rather than fabricate claims, and nothing may error.
+func TestVetSharingAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-all", "-sharing", "-static-only"}, &out); err != nil {
+		t.Fatalf("vet -all -sharing -static-only failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "no thread roles") {
+		t.Errorf("no sequential workload degraded to \"no thread roles\":\n%s", s)
+	}
+	if !strings.Contains(s, "FALSE-SHARING") {
+		t.Errorf("-all lost the fixture's finding:\n%s", s)
+	}
+}
+
+// TestVetSharingClomp: a paper workload end to end — clomp's per-thread
+// partial sums are predicted to false-share and the prediction must not
+// be contradicted.
+func TestVetSharingClomp(t *testing.T) {
+	var out bytes.Buffer
+	if err := runVet([]string{"-workload", "clomp", "-sharing"}, &out); err != nil {
+		t.Fatalf("vet clomp -sharing failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"FALSE-SHARING part_sums",
+		"RESULT: ok — every exact sharing claim is consistent with observed coherence traffic",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("vet clomp -sharing output missing %q:\n%s", want, s)
+		}
+	}
+}

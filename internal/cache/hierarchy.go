@@ -2,6 +2,60 @@ package cache
 
 import "fmt"
 
+// CoherenceKind classifies one coherence event.
+type CoherenceKind uint8
+
+// Coherence event kinds.
+const (
+	// CoherenceWriteInvalidate: a write probe removed another core's copy
+	// of the line (MESI write-invalidate).
+	CoherenceWriteInvalidate CoherenceKind = iota
+	// CoherenceBackInvalidate: a shared-level eviction removed a private
+	// copy to preserve inclusion.
+	CoherenceBackInvalidate
+	// CoherenceDowngrade: a read fill demoted another core's
+	// exclusive/modified copy to shared.
+	CoherenceDowngrade
+)
+
+func (k CoherenceKind) String() string {
+	switch k {
+	case CoherenceWriteInvalidate:
+		return "write-invalidate"
+	case CoherenceBackInvalidate:
+		return "back-invalidate"
+	case CoherenceDowngrade:
+		return "downgrade"
+	}
+	return "?"
+}
+
+// CoherenceEvent describes one coherence action on one line. One event is
+// emitted per victim core, regardless of how many of its private levels
+// held the line — the protocol-level event count, not the per-level
+// bookkeeping count.
+type CoherenceEvent struct {
+	Kind CoherenceKind
+	// Tag is the line address (addr >> log2(LineSize)).
+	Tag uint64
+	// Addr is the accessing effective address that triggered the event
+	// (the probe cause); 0 for back-invalidations and prefetch-triggered
+	// events, whose cause is unrelated to the victim line.
+	Addr uint64
+	// Core initiated the event; Victim lost (or downgraded) its copy.
+	Core, Victim int
+	// Dirty reports whether the victim's copy was modified (a writeback).
+	Dirty bool
+}
+
+// CoherenceObserver is notified of every coherence event. Observers run
+// inline in the access path and must be cheap; the event is only valid for
+// the duration of the call (the hierarchy reuses one event so the hot path
+// does not allocate) — observers that keep data must copy it out.
+type CoherenceObserver interface {
+	OnCoherence(ev *CoherenceEvent)
+}
+
 // Hierarchy is a multi-core cache hierarchy: the private levels are
 // instantiated per core, the shared levels once.
 type Hierarchy struct {
@@ -34,6 +88,20 @@ type Hierarchy struct {
 	demandAccesses uint64
 	writeBacks     uint64
 	invalidations  uint64
+
+	// Per-event coherence counters: one increment per victim core, unlike
+	// invalidations above, which counts per level per core (the historical
+	// bookkeeping counter, kept for compatibility).
+	writeInvalidations uint64
+	backInvalidations  uint64
+	downgrades         uint64
+
+	// cohObs, when set, receives every coherence event; cohScratch is the
+	// reused event and curAddr the effective address of the in-flight
+	// demand access (0 during prefetch fills).
+	cohObs     CoherenceObserver
+	cohScratch CoherenceEvent
+	curAddr    uint64
 }
 
 // NewHierarchy builds a hierarchy for the given core count.
@@ -99,12 +167,36 @@ func (h *Hierarchy) inst(levelIdx, core int) *level {
 // lastPrivate returns the index of the deepest private level, or -1.
 func (h *Hierarchy) lastPrivate() int { return h.lastPriv }
 
+// SetCoherenceObserver attaches (or, with nil, detaches) the per-line
+// coherence stats hook. The observer sees every write-invalidation,
+// inclusion back-invalidation, and read downgrade as it happens.
+func (h *Hierarchy) SetCoherenceObserver(o CoherenceObserver) { h.cohObs = o }
+
+// emitCoherence delivers one coherence event to the observer, if any.
+func (h *Hierarchy) emitCoherence(kind CoherenceKind, tag uint64, core, victim int, dirty bool) {
+	if h.cohObs == nil {
+		return
+	}
+	ev := &h.cohScratch
+	ev.Kind = kind
+	ev.Tag = tag
+	ev.Addr = h.curAddr
+	if kind == CoherenceBackInvalidate {
+		ev.Addr = 0 // eviction fallout: the access is unrelated to the victim line
+	}
+	ev.Core = core
+	ev.Victim = victim
+	ev.Dirty = dirty
+	h.cohObs.OnCoherence(ev)
+}
+
 // Access performs one demand access by core to addr. pc is the accessing
 // instruction's address (used by the prefetcher). Accesses that span two
 // lines are charged to the first line. Returns the serving level and
 // total latency.
 func (h *Hierarchy) Access(core int, pc, addr uint64, size int, write bool) Result {
 	h.demandAccesses++
+	h.curAddr = addr
 	tag := addr >> h.lineShift
 
 	res := h.accessLine(core, tag, write, true)
@@ -113,6 +205,7 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, size int, write bool) Resu
 	}
 
 	if h.prefetchers != nil {
+		h.curAddr = 0 // prefetch fallout is not caused by this address
 		h.trainPrefetcher(core, pc, addr)
 	}
 	return res
@@ -209,26 +302,40 @@ func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
 		// single core's private levels directly — invalidate is
 		// presence-checked, so the counters move exactly as before.
 		if !h.coherent {
+			kicked, anyDirty := false, false
 			for lj := li - 1; lj >= 0; lj-- {
 				if dirtyWB, present := h.inst(lj, core).invalidate(victimTag); present {
+					kicked = true
 					h.invalidations++
 					if dirtyWB {
+						anyDirty = true
 						h.writeBacks++
 					}
 				}
+			}
+			if kicked {
+				h.backInvalidations++
+				h.emitCoherence(CoherenceBackInvalidate, victimTag, core, core, anyDirty)
 			}
 		} else if mask := h.directory.get(victimTag); mask != 0 {
 			for c := 0; c < h.numCores; c++ {
 				if mask&(1<<uint(c)) == 0 {
 					continue
 				}
+				kicked, anyDirty := false, false
 				for lj := li - 1; lj >= 0; lj-- {
 					if dirtyWB, present := h.inst(lj, c).invalidate(victimTag); present {
+						kicked = true
 						h.invalidations++
 						if dirtyWB {
+							anyDirty = true
 							h.writeBacks++
 						}
 					}
+				}
+				if kicked {
+					h.backInvalidations++
+					h.emitCoherence(CoherenceBackInvalidate, victimTag, core, c, anyDirty)
 				}
 			}
 			h.directory.delete(victimTag)
@@ -273,16 +380,23 @@ func (h *Hierarchy) invalidateOthers(core int, tag uint64) {
 		if others&(1<<uint(c)) == 0 {
 			continue
 		}
+		kicked, anyDirty := false, false
 		for li := range h.levels {
 			if h.cfg.Levels[li].Shared {
 				continue
 			}
 			if dirtyWB, present := h.inst(li, c).invalidate(tag); present {
+				kicked = true
 				h.invalidations++
 				if dirtyWB {
+					anyDirty = true
 					h.writeBacks++
 				}
 			}
+		}
+		if kicked {
+			h.writeInvalidations++
+			h.emitCoherence(CoherenceWriteInvalidate, tag, core, c, anyDirty)
 		}
 	}
 	h.directory.set(tag, mask&(1<<uint(core)))
@@ -299,13 +413,19 @@ func (h *Hierarchy) downgradeOthers(core int, tag uint64) {
 		if mask&(1<<uint(c)) == 0 {
 			continue
 		}
+		demoted := false
 		for li := range h.levels {
 			if h.cfg.Levels[li].Shared {
 				continue
 			}
 			if w := h.inst(li, c).peek(tag); w != nil {
 				w.shared = true
+				demoted = true
 			}
+		}
+		if demoted {
+			h.downgrades++
+			h.emitCoherence(CoherenceDowngrade, tag, core, c, false)
 		}
 	}
 }
@@ -433,18 +553,28 @@ type Stats struct {
 	Levels         []LevelStats
 	DemandAccesses uint64
 	WriteBacks     uint64
-	Invalidations  uint64
-	PrefetchIssued uint64
-	TLB            TLBStats
+	// Invalidations counts per level per core (the historical bookkeeping
+	// counter); the three counters below count one per victim core per
+	// protocol event, split by kind, so Invalidations >=
+	// WriteInvalidations + BackInvalidations.
+	Invalidations      uint64
+	WriteInvalidations uint64
+	BackInvalidations  uint64
+	Downgrades         uint64
+	PrefetchIssued     uint64
+	TLB                TLBStats
 }
 
 // Stats snapshots all counters, summing private instances per level.
 func (h *Hierarchy) Stats() Stats {
 	st := Stats{
-		DemandAccesses: h.demandAccesses,
-		WriteBacks:     h.writeBacks,
-		Invalidations:  h.invalidations,
-		PrefetchIssued: h.PrefetchIssued,
+		DemandAccesses:     h.demandAccesses,
+		WriteBacks:         h.writeBacks,
+		Invalidations:      h.invalidations,
+		WriteInvalidations: h.writeInvalidations,
+		BackInvalidations:  h.backInvalidations,
+		Downgrades:         h.downgrades,
+		PrefetchIssued:     h.PrefetchIssued,
 	}
 	for li, insts := range h.levels {
 		ls := LevelStats{Name: h.cfg.Levels[li].Name}

@@ -65,8 +65,69 @@ func checkDirectory(t *testing.T, h *Hierarchy) {
 	}
 }
 
+// cohRecorder tallies coherence events by kind and per line, and checks
+// per-event sanity (victim differs from initiator on probe events).
+type cohRecorder struct {
+	t       *testing.T
+	byKind  [3]uint64
+	perLine map[uint64]uint64 // back-invalidations per line tag
+}
+
+func newCohRecorder(t *testing.T) *cohRecorder {
+	return &cohRecorder{t: t, perLine: make(map[uint64]uint64)}
+}
+
+func (c *cohRecorder) OnCoherence(ev *CoherenceEvent) {
+	c.byKind[ev.Kind]++
+	switch ev.Kind {
+	case CoherenceBackInvalidate:
+		c.perLine[ev.Tag]++
+		if ev.Addr != 0 {
+			c.t.Errorf("back-invalidation of line %#x carries cause address %#x", ev.Tag, ev.Addr)
+		}
+	case CoherenceWriteInvalidate, CoherenceDowngrade:
+		if ev.Victim == ev.Core {
+			c.t.Errorf("%s event with victim == initiator (core %d, line %#x)", ev.Kind, ev.Core, ev.Tag)
+		}
+	}
+	if ev.Kind == CoherenceDowngrade && ev.Dirty {
+		c.t.Errorf("downgrade of line %#x flagged dirty", ev.Tag)
+	}
+}
+
+// checkCoherenceCounts asserts the per-event counters agree with the
+// observer's tallies and with the historical per-level counter.
+func checkCoherenceCounts(t *testing.T, st Stats, rec *cohRecorder) {
+	t.Helper()
+	if st.WriteInvalidations != rec.byKind[CoherenceWriteInvalidate] {
+		t.Fatalf("write-invalidations: stats %d, observer %d",
+			st.WriteInvalidations, rec.byKind[CoherenceWriteInvalidate])
+	}
+	if st.BackInvalidations != rec.byKind[CoherenceBackInvalidate] {
+		t.Fatalf("back-invalidations: stats %d, observer %d",
+			st.BackInvalidations, rec.byKind[CoherenceBackInvalidate])
+	}
+	if st.Downgrades != rec.byKind[CoherenceDowngrade] {
+		t.Fatalf("downgrades: stats %d, observer %d", st.Downgrades, rec.byKind[CoherenceDowngrade])
+	}
+	var perLineSum uint64
+	for _, n := range rec.perLine {
+		perLineSum += n
+	}
+	if perLineSum != st.BackInvalidations {
+		t.Fatalf("per-line back-invalidation sum %d != total %d", perLineSum, st.BackInvalidations)
+	}
+	// Every protocol event invalidated at least one level of the victim,
+	// so the per-level counter bounds the per-event ones from above.
+	if st.Invalidations < st.WriteInvalidations+st.BackInvalidations {
+		t.Fatalf("per-level invalidations %d < per-event write %d + back %d",
+			st.Invalidations, st.WriteInvalidations, st.BackInvalidations)
+	}
+}
+
 func TestHierarchyInvariantsUnderRandomAccesses(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
+	var totalBackInv, totalWriteInv uint64
 	for trial := 0; trial < 20; trial++ {
 		cfg := tinyConfig()
 		cfg.Prefetch = trial%2 == 1
@@ -76,6 +137,8 @@ func TestHierarchyInvariantsUnderRandomAccesses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		rec := newCohRecorder(t)
+		h.SetCoherenceObserver(rec)
 		for i := 0; i < 3000; i++ {
 			core := rng.Intn(cores)
 			// A mix of hot lines (conflict pressure) and a wide range.
@@ -100,7 +163,58 @@ func TestHierarchyInvariantsUnderRandomAccesses(t *testing.T) {
 		if st.Levels[0].Accesses != st.DemandAccesses {
 			t.Fatalf("L1 accesses %d != demand %d", st.Levels[0].Accesses, st.DemandAccesses)
 		}
+		checkCoherenceCounts(t, st, rec)
+		if cores == 1 && (st.WriteInvalidations != 0 || st.Downgrades != 0) {
+			t.Fatalf("single core saw %d write-invalidations / %d downgrades",
+				st.WriteInvalidations, st.Downgrades)
+		}
+		totalBackInv += st.BackInvalidations
+		totalWriteInv += st.WriteInvalidations
 	}
+	// The small shared level overflows under mixed accesses and multi-core
+	// trials contend on the hot lines; the per-event counters must see
+	// those protocol actions, not just perform them.
+	if totalBackInv == 0 {
+		t.Fatal("no back-invalidations counted across all trials despite eviction pressure")
+	}
+	if totalWriteInv == 0 {
+		t.Fatal("no write-invalidations counted across all trials despite hot-line contention")
+	}
+}
+
+// TestCoherenceEventCounts pins the per-event semantics on a deterministic
+// two-core ping-pong: every write to a line the other core holds is
+// exactly one write-invalidation, and a read of a modified remote line is
+// exactly one downgrade.
+func TestCoherenceEventCounts(t *testing.T) {
+	h, err := NewHierarchy(tinyConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newCohRecorder(t)
+	h.SetCoherenceObserver(rec)
+
+	const addr = 0x1000
+	h.Access(0, 1, addr, 8, true) // core 0: exclusive+dirty
+	h.Access(1, 1, addr, 8, true) // kicks core 0: 1 write-invalidation, dirty
+	h.Access(0, 1, addr, 8, true) // kicks core 1: 2nd write-invalidation
+	st := h.Stats()
+	if st.WriteInvalidations != 2 {
+		t.Fatalf("ping-pong write-invalidations = %d, want 2", st.WriteInvalidations)
+	}
+	if st.Downgrades != 0 {
+		t.Fatalf("write ping-pong produced %d downgrades", st.Downgrades)
+	}
+
+	h.Access(1, 1, addr, 8, false) // read of core 0's modified line: downgrade
+	st = h.Stats()
+	if st.Downgrades != 1 {
+		t.Fatalf("downgrades = %d, want 1", st.Downgrades)
+	}
+	if st.WriteInvalidations != 2 {
+		t.Fatalf("read fill changed write-invalidations to %d", st.WriteInvalidations)
+	}
+	checkCoherenceCounts(t, st, rec)
 }
 
 // TestAccessedLineLandsInL1: after any demand access the line is L1-

@@ -139,6 +139,14 @@ type StructReport struct {
 	OffsetGroups [][]uint64
 	Advice       *SplitAdvice
 
+	// KeepApart lists field-offset pairs a sharing analysis wants on
+	// different cache lines (false-sharing "negative affinities"). The
+	// pairs are not produced by the profiler itself; callers running the
+	// static sharing analyzer attach them so WriteDot can overlay them
+	// on the affinity graph. A pair may relate an offset to itself: the
+	// field false-shares with its own copies in neighboring elements.
+	KeepApart [][2]uint64
+
 	// debugFields caches the debug-info field layout for name lookups.
 	debugFields []prog.PhysField
 }

@@ -486,4 +486,18 @@ func TestReportRendering(t *testing.T) {
 	if !strings.Contains(dot.String(), "graph affinity_arr") {
 		t.Errorf("dot graph header missing:\n%s", dot.String())
 	}
+
+	// Keep-apart constraints from a sharing analysis overlay the graph
+	// as dashed red edges.
+	rep.Structures[0].KeepApart = [][2]uint64{{0, 8}, {8, 8}}
+	dot.Reset()
+	rep.Structures[0].WriteDot(&dot)
+	for _, want := range []string{
+		`f0 -- f8 [label="keep apart", style=dashed, color=red`,
+		`f8 -- f8 [label="keep apart"`,
+	} {
+		if !strings.Contains(dot.String(), want) {
+			t.Errorf("dot graph missing keep-apart edge %q:\n%s", want, dot.String())
+		}
+	}
 }

@@ -212,6 +212,13 @@ func (sr *StructReport) WriteDot(w io.Writer) {
 				e.OffA, e.OffB, e.Value, int(e.Value*100))
 		}
 	}
+	// Keep-apart pairs overlay the affinity edges as dashed red
+	// constraints: whatever the locality says, these fields must not
+	// share a cache line.
+	for _, ka := range sr.KeepApart {
+		fmt.Fprintf(w, "  f%d -- f%d [label=\"keep apart\", style=dashed, color=red, constraint=false];\n",
+			ka[0], ka[1])
+	}
 	fmt.Fprintf(w, "}\n")
 }
 

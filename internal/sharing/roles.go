@@ -1,0 +1,127 @@
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// ArgShape describes how one argument position varies across a role's
+// threads.
+type ArgShape uint8
+
+// Argument shapes.
+const (
+	// ArgUniform: every thread receives the same value.
+	ArgUniform ArgShape = iota
+	// ArgTid: the values form an arithmetic progression over the spec
+	// order — the argument carries (an affine image of) the thread index.
+	ArgTid
+	// ArgOpaque: anything else.
+	ArgOpaque
+)
+
+// ArgSpec is the derived shape of one argument position.
+type ArgSpec struct {
+	Shape ArgShape
+	// Value is the common value (ArgUniform) or the progression base
+	// (ArgTid: thread i receives Value + i*Step).
+	Value int64
+	Step  int64 // nonzero only for ArgTid
+}
+
+// Role is a group of threads launched in the same phase running the same
+// function — the unit the sharing classification is computed for. The
+// symbolic "thread index" of the analysis is the thread's position
+// within the role (0-based, in spec order).
+type Role struct {
+	Phase   int // phase index in the workload's phase list
+	Fn      int // root function id
+	FnName  string
+	Threads int
+	Args    []ArgSpec
+	Cores   []int // per thread index, the pinned core
+
+	// Exclusive reports that the role's threads are all the threads of
+	// its phase. Non-exclusive roles share the phase with other writers
+	// the role analysis cannot see, so their claims are demoted to Hint.
+	Exclusive bool
+
+	// Unanalyzed marks roles whose dataflow did not converge; they
+	// produce no claims.
+	Unanalyzed bool
+}
+
+// Name renders the role for reports, e.g. "phase 1 · calc_deposit ×4".
+func (r *Role) Name() string {
+	return fmt.Sprintf("phase %d · %s ×%d", r.Phase, r.FnName, r.Threads)
+}
+
+// DeriveRoles extracts the thread roles of a phase list: per phase, the
+// groups of at least two threads sharing a root function. Single-thread
+// phases (sequential stages, initializers) yield no roles — one thread
+// cannot share with itself.
+func DeriveRoles(phases [][]vm.ThreadSpec) []*Role {
+	var roles []*Role
+	for pi, ph := range phases {
+		// Group spec indexes by function, preserving spec order (the spec
+		// order defines the role's thread index).
+		byFn := make(map[int][]int)
+		var fnOrder []int
+		for si, sp := range ph {
+			if _, seen := byFn[sp.Fn]; !seen {
+				fnOrder = append(fnOrder, sp.Fn)
+			}
+			byFn[sp.Fn] = append(byFn[sp.Fn], si)
+		}
+		for _, fn := range fnOrder {
+			specs := byFn[fn]
+			if len(specs) < 2 {
+				continue
+			}
+			r := &Role{Phase: pi, Fn: fn, Threads: len(specs), Exclusive: len(specs) == len(ph)}
+			nArgs := 0
+			for _, si := range specs {
+				r.Cores = append(r.Cores, ph[si].Core)
+				if n := len(ph[si].Args); n > nArgs {
+					nArgs = n
+				}
+			}
+			for ai := 0; ai < nArgs; ai++ {
+				r.Args = append(r.Args, deriveArg(ph, specs, ai))
+			}
+			roles = append(roles, r)
+		}
+	}
+	return roles
+}
+
+// deriveArg classifies argument position ai across the role's threads.
+// Missing arguments read as 0, matching the interpreter's zeroed
+// registers.
+func deriveArg(ph []vm.ThreadSpec, specs []int, ai int) ArgSpec {
+	argOf := func(si int) int64 {
+		if ai < len(ph[si].Args) {
+			return ph[si].Args[ai]
+		}
+		return 0
+	}
+	v0 := argOf(specs[0])
+	uniform := true
+	for _, si := range specs[1:] {
+		if argOf(si) != v0 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return ArgSpec{Shape: ArgUniform, Value: v0}
+	}
+	step := argOf(specs[1]) - v0
+	for i, si := range specs {
+		if argOf(si) != v0+int64(i)*step {
+			return ArgSpec{Shape: ArgOpaque}
+		}
+	}
+	return ArgSpec{Shape: ArgTid, Value: v0, Step: step}
+}

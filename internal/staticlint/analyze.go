@@ -756,6 +756,28 @@ func (a *Analysis) describeBase(b baseRef) (name string, typeID, debugSize int) 
 	return name, typeID, debugSize
 }
 
+// BaseObject is the exported view of a stream's resolved base, for
+// other analyses (internal/sharing cross-tags its own base resolution
+// against this one) without exposing the internal baseRef lattice.
+type BaseObject struct {
+	IsGlobal bool
+	Global   int // valid when IsGlobal
+	IsHeap   bool
+	AllocIP  uint64 // valid when IsHeap
+}
+
+// BaseOf returns the stream's resolved base object. ok is false when the
+// base never resolved (pointer chases, opaque arguments).
+func (sp *StreamPred) BaseOf() (BaseObject, bool) {
+	switch sp.Base.Kind {
+	case baseGlobal:
+		return BaseObject{IsGlobal: true, Global: sp.Base.Global}, true
+	case baseAlloc:
+		return BaseObject{IsHeap: true, AllocIP: sp.Base.AllocIP}, true
+	}
+	return BaseObject{}, false
+}
+
 // StreamAt returns the prediction for the memory instruction at ip, or
 // nil.
 func (a *Analysis) StreamAt(ip uint64) *StreamPred {

@@ -192,6 +192,12 @@ func NewMachine(p *prog.Program, cacheCfg cache.Config, numCores int, cfg Config
 // GlobalBase returns the loaded address of global gi.
 func (m *Machine) GlobalBase(gi int) uint64 { return m.globalBase[gi] }
 
+// SetCoherenceObserver attaches a coherence observer to the machine's
+// cache hierarchy, alongside the access observer.
+func (m *Machine) SetCoherenceObserver(o cache.CoherenceObserver) {
+	m.Caches.SetCoherenceObserver(o)
+}
+
 // Run executes the given threads to completion and returns run statistics.
 func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 	if len(specs) == 0 {
