@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke vet-sharing
+.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing
 
 all: build lint test
 
@@ -40,9 +40,25 @@ bench:
 
 # bench-smoke: one iteration of the perf-critical benchmarks — the
 # hot-path microbenchmarks and the parallel-engine speedup/identity
-# check — with metrics captured for CI artifact upload.
+# check — plus the ART end-to-end reference-vs-fastpath benchmark, with
+# metrics captured as text and as JSON (BENCH_4.json) for CI upload.
 BENCH_METRICS ?= bench-metrics.txt
+BENCH_JSON ?= BENCH_4.json
 bench-smoke:
 	$(GO) test -run '^$$' -benchtime 1x \
 		-bench 'BenchmarkRunnerParallel|BenchmarkMachineHotPath|BenchmarkCacheAccess|BenchmarkInterpreter' \
 		-benchmem . | tee $(BENCH_METRICS)
+	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkARTProfile' \
+		-benchmem . | tee -a $(BENCH_METRICS)
+	$(GO) run ./cmd/benchjson -in $(BENCH_METRICS) -out $(BENCH_JSON)
+
+# bench-gate: re-measure the ART end-to-end benchmark and fail when the
+# fast-path speedup over the reference engines regressed more than 15%
+# against the committed BENCH_4.json baseline. The gated metric is the
+# in-run speedup ratio, so it is machine-neutral.
+bench-gate:
+	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkARTProfile' . \
+		| tee /tmp/bench-gate.txt
+	$(GO) run ./cmd/benchjson -gate -in /tmp/bench-gate.txt -baseline BENCH_4.json \
+		-bench BenchmarkARTProfile/fastpath -metric x-vs-reference \
+		-higher-is-better -max-regress 15

@@ -23,6 +23,7 @@ import (
 	"repro/internal/prog"
 	"repro/internal/stride"
 	"repro/internal/tables"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 	"repro/structslim"
 )
@@ -777,6 +778,96 @@ func BenchmarkMachineHotPath(b *testing.B) {
 		memops = res.Stats.MemOps
 	}
 	b.ReportMetric(float64(memops), "memops/run")
+}
+
+// BenchmarkARTProfile times the profiled ART run under both execution
+// engines: "reference" forces the switch-dispatch interpreter and
+// disables the L1 hot-line shadow, "fastpath" is the default
+// block-compiled engine with the hot-line shadow and batched sampling.
+// Both produce bit-identical profiles (fastpath_differential_test.go);
+// the "x-vs-reference" metric on the fastpath sub-benchmark is the
+// engine speedup measured within a single process, which makes it
+// machine-neutral — CI gates on it via `make bench-gate`.
+func BenchmarkARTProfile(b *testing.B) {
+	w, err := workloads.Get("art")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opt structslim.Options) time.Duration {
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := structslim.ProfileRun(p, phases, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start) / time.Duration(b.N)
+	}
+	var refDur, fastDur time.Duration
+	b.Run("reference", func(b *testing.B) {
+		cfg := cache.DefaultConfig()
+		cfg.DisableHotLine = true
+		refDur = run(b, structslim.Options{
+			SamplePeriod: 3000, Seed: 7,
+			Cache: &cfg, VM: vm.Config{Reference: true},
+		})
+	})
+	b.Run("fastpath", func(b *testing.B) {
+		fastDur = run(b, structslim.Options{SamplePeriod: 3000, Seed: 7})
+		if refDur > 0 && fastDur > 0 {
+			b.ReportMetric(refDur.Seconds()/fastDur.Seconds(), "x-vs-reference")
+		}
+	})
+}
+
+// BenchmarkWorkloadSweep runs the same reference-vs-fastpath comparison
+// as BenchmarkARTProfile across every paper workload, reporting the
+// per-workload engine speedup. Not part of `make bench-smoke` (it is the
+// slowest benchmark in the file); run it manually to regenerate the
+// sweep table in README.md:
+//
+//	go test -run '^$' -benchtime 3x -bench WorkloadSweep .
+func BenchmarkWorkloadSweep(b *testing.B) {
+	for _, name := range workloads.PaperOrder {
+		w, err := workloads.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, phases, err := w.Build(nil, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, opt structslim.Options) time.Duration {
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := structslim.ProfileRun(p, phases, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return time.Since(start) / time.Duration(b.N)
+		}
+		var refDur time.Duration
+		b.Run(name+"/reference", func(b *testing.B) {
+			cfg := cache.DefaultConfig()
+			cfg.DisableHotLine = true
+			refDur = run(b, structslim.Options{
+				SamplePeriod: 3000, Seed: 7,
+				Cache: &cfg, VM: vm.Config{Reference: true},
+			})
+		})
+		b.Run(name+"/fastpath", func(b *testing.B) {
+			fastDur := run(b, structslim.Options{SamplePeriod: 3000, Seed: 7})
+			if refDur > 0 && fastDur > 0 {
+				b.ReportMetric(refDur.Seconds()/fastDur.Seconds(), "x-vs-reference")
+			}
+		})
+	}
 }
 
 func BenchmarkCacheAccessHit(b *testing.B) {

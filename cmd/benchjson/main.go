@@ -1,0 +1,197 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// machine-readable JSON document, and gates changes against a committed
+// baseline — a minimal benchstat for CI.
+//
+// Convert (writes JSON to -out or stdout):
+//
+//	go test -bench . -benchmem . | benchjson -out BENCH_4.json
+//
+// Gate (exit 1 when a metric regressed more than -max-regress percent
+// against the baseline):
+//
+//	go test -bench ARTProfile . | benchjson \
+//	    -gate -baseline BENCH_4.json \
+//	    -bench BenchmarkARTProfile/fastpath -metric x-vs-reference \
+//	    -higher-is-better -max-regress 15
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the JSON document format.
+const Schema = "structslim-bench/1"
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark result line. Metrics maps unit → value
+// (ns/op, B/op, allocs/op, and any custom b.ReportMetric units).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		out       = flag.String("out", "", "JSON output file (default stdout)")
+		gate      = flag.Bool("gate", false, "compare against -baseline instead of emitting JSON")
+		baseline  = flag.String("baseline", "", "baseline JSON file for -gate")
+		benchName = flag.String("bench", "", "benchmark name to gate on (exact, without -GOMAXPROCS suffix)")
+		metric    = flag.String("metric", "ns/op", "metric unit to gate on")
+		higher    = flag.Bool("higher-is-better", false, "metric improves upward (speedups) rather than downward (times)")
+		maxReg    = flag.Float64("max-regress", 15, "max tolerated regression, percent")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		fail(err)
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	fail(err)
+	if len(benches) == 0 {
+		fail(fmt.Errorf("no benchmark lines found in input"))
+	}
+	doc := Doc{Schema: Schema, Benchmarks: benches}
+
+	if *gate {
+		fail(runGate(doc, *baseline, *benchName, *metric, *higher, *maxReg))
+		return
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	fail(os.WriteFile(*out, enc, 0o644))
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output: Benchmark<Name>[-procs] <iterations> {<value> <unit>}...
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", b.Name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// stripProcs drops the trailing -GOMAXPROCS suffix go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func find(doc Doc, name, metric string) (float64, error) {
+	for _, b := range doc.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			return 0, fmt.Errorf("benchmark %s has no metric %q (have %v)", name, metric, keys(b.Metrics))
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("benchmark %s not found", name)
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// runGate compares the current value of one metric against the baseline
+// document and fails on a regression beyond the tolerance.
+func runGate(cur Doc, baselinePath, bench, metric string, higherIsBetter bool, maxRegressPct float64) error {
+	if baselinePath == "" || bench == "" {
+		return fmt.Errorf("-gate requires -baseline and -bench")
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	baseV, err := find(base, bench, metric)
+	if err != nil {
+		return fmt.Errorf("baseline: %v", err)
+	}
+	curV, err := find(cur, bench, metric)
+	if err != nil {
+		return fmt.Errorf("current: %v", err)
+	}
+	if baseV == 0 {
+		return fmt.Errorf("baseline %s %s is zero", bench, metric)
+	}
+	// Regression percent: positive when the current value is worse.
+	reg := (curV - baseV) / baseV * 100
+	if higherIsBetter {
+		reg = -reg
+	}
+	status := "ok"
+	if reg > maxRegressPct {
+		status = "REGRESSION"
+	}
+	fmt.Printf("%s %s: baseline %.4g, current %.4g, regression %.1f%% (tolerance %.1f%%): %s\n",
+		bench, metric, baseV, curV, reg, maxRegressPct, status)
+	if status != "ok" {
+		return fmt.Errorf("%s %s regressed %.1f%% (> %.1f%%)", bench, metric, reg, maxRegressPct)
+	}
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

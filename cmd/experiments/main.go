@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/tables"
 	"repro/internal/workloads"
@@ -24,6 +25,8 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		table    = flag.Int("table", 0, "regenerate one table (1-6)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (4-13)")
 		accuracy = flag.Bool("accuracy", false, "run the Equation 4 accuracy study")
@@ -37,6 +40,13 @@ func main() {
 			"max concurrent simulations (output is byte-identical at any value)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+	}
+	memProfile = *memProf
 
 	sc := workloads.ScaleTest
 	if *scale == "bench" {
@@ -135,13 +145,37 @@ func main() {
 	}
 
 	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*baseline && !*cases {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -figure N, or -accuracy")
 		os.Exit(2)
+	}
+	stopProfiles()
+}
+
+// memProfile is the -memprofile path; stopProfiles writes it (and stops
+// the CPU profile) on every exit path, including fail().
+var memProfile string
+
+func stopProfiles() {
+	pprof.StopCPUProfile()
+	if memProfile == "" {
+		return
+	}
+	f, err := os.Create(memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 }
 
 func fail(err error) {
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

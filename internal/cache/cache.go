@@ -45,6 +45,15 @@ type Config struct {
 	// TLB optionally models a per-core data TLB (Entries == 0 disables
 	// it, the default, matching the paper's cache-only accounting).
 	TLB TLBConfig
+
+	// DisableHotLine turns off the per-core L1 hot-line shadow, a
+	// direct-mapped pointer cache that answers the common L1-hit case in
+	// one comparison before the full hierarchy walk. The shadow is a pure
+	// optimization — entries are verified against the live line and all
+	// invalidation paths flow through the lines themselves — so results
+	// are identical either way; differential tests and baseline
+	// benchmarks disable it.
+	DisableHotLine bool
 }
 
 // DefaultConfig models the paper's Xeon E5-4650L evaluation machine.
@@ -171,31 +180,35 @@ func (l *level) peek(tag uint64) *line {
 	return nil
 }
 
-// fill inserts tag, returning the victim's tag and whether a valid line
-// was evicted.
-func (l *level) fill(tag uint64, dirty, shared bool) (victimTag uint64, evicted bool) {
+// fill inserts tag, returning the victim's tag, whether a valid line was
+// evicted, and the slot now holding the line (stable for the level's
+// lifetime: sets alias one backing array that is never reallocated).
+//
+// Victim choice is "first invalid way, else least-recently used". Both
+// cases are one min-scan over lru because invalid ways always carry
+// lru 0 (zero value at start, reset by invalidate) and valid ways never
+// do (lruClock is pre-incremented), so the earliest zero — the first
+// invalid way — is also the strict minimum.
+func (l *level) fill(tag uint64, dirty, shared bool) (victimTag uint64, evicted bool, inserted *line) {
 	set := l.sets[l.setOf(tag)]
 	victim := &set[0]
-	for i := range set {
-		w := &set[i]
-		if !w.valid {
-			victim = w
-			break
-		}
-		if w.lru < victim.lru {
+	for i := 1; i < len(set); i++ {
+		if w := &set[i]; w.lru < victim.lru {
 			victim = w
 		}
 	}
 	victimTag, evicted = victim.tag, victim.valid
 	l.lruClock++
 	*victim = line{tag: tag, valid: true, dirty: dirty, shared: shared, lru: l.lruClock}
-	return victimTag, evicted
+	return victimTag, evicted, victim
 }
 
 // invalidate drops the line if present, returning whether it was dirty.
+// Clearing lru keeps fill's invariant that invalid ways sort first.
 func (l *level) invalidate(tag uint64) (wasDirty, wasPresent bool) {
 	if w := l.peek(tag); w != nil {
 		w.valid = false
+		w.lru = 0
 		return w.dirty, true
 	}
 	return false, false

@@ -102,7 +102,34 @@ type Hierarchy struct {
 	cohObs     CoherenceObserver
 	cohScratch CoherenceEvent
 	curAddr    uint64
+
+	// hot is the per-core L1 hot-line shadow (nil when disabled): a
+	// direct-mapped table of recently touched lines, each entry a
+	// (tag, *line) pair pointing into the core's L1. A demand access
+	// whose entry matches and whose line still holds the tag is an L1 hit
+	// answered without the level walk. Entries are never invalidated —
+	// every eviction, write-invalidation, back-invalidation, or
+	// downgrade mutates the pointed-to line, so stale entries fail the
+	// verification compare and fall into the full path. l1Line carries
+	// the L1 slot the in-flight demand access hit or filled, for shadow
+	// update. deep is the same trick for prefetchPresent, pointing into
+	// the deepest level of each core's view.
+	hot    [][]hotEntry
+	deep   [][]hotEntry
+	l1Line *line
+	l1Lat  uint32 // Levels[0].Latency, preloaded for the fast path
 }
+
+// hotEntry is one L1 hot-line shadow slot.
+type hotEntry struct {
+	tag uint64
+	ln  *line
+}
+
+const (
+	hotLines = 1024
+	hotMask  = hotLines - 1
+)
 
 // NewHierarchy builds a hierarchy for the given core count.
 func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
@@ -113,6 +140,7 @@ func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
 		return nil, fmt.Errorf("core count %d", numCores)
 	}
 	h := &Hierarchy{cfg: cfg, numCores: numCores, directory: newDirTable()}
+	h.l1Lat = uint32(cfg.Levels[0].Latency)
 	for s := cfg.LineSize; s > 1; s >>= 1 {
 		h.lineShift++
 	}
@@ -145,6 +173,15 @@ func NewHierarchy(cfg Config, numCores int) (*Hierarchy, error) {
 		h.tlbs = make([]*tlb, numCores)
 		for i := range h.tlbs {
 			h.tlbs[i] = newTLB(tcfg)
+		}
+	}
+	if !cfg.DisableHotLine {
+		h.hot = make([][]hotEntry, numCores)
+		h.deep = make([][]hotEntry, numCores)
+		backing := make([]hotEntry, 2*numCores*hotLines)
+		for i := range h.hot {
+			h.hot[i] = backing[2*i*hotLines : (2*i+1)*hotLines]
+			h.deep[i] = backing[(2*i+1)*hotLines : (2*i+2)*hotLines]
 		}
 	}
 	return h, nil
@@ -195,15 +232,57 @@ func (h *Hierarchy) emitCoherence(kind CoherenceKind, tag uint64, core, victim i
 // lines are charged to the first line. Returns the serving level and
 // total latency.
 func (h *Hierarchy) Access(core int, pc, addr uint64, size int, write bool) Result {
+	tag := addr >> h.lineShift
+	if h.hot != nil {
+		e := &h.hot[core][tag&hotMask]
+		// The fast path requires the shadow entry and the line it points
+		// to to agree on the tag (any eviction or invalidation since the
+		// entry was written breaks one of the two), and takes writes only
+		// on lines no other core holds: a write hit on a shared line must
+		// probe the directory, which is the full path's job.
+		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag && (!write || !e.ln.shared) {
+			return h.hotHit(core, addr, pc, e.ln, write)
+		}
+	}
 	h.demandAccesses++
 	h.curAddr = addr
-	tag := addr >> h.lineShift
+	h.l1Line = nil
 
 	res := h.accessLine(core, tag, write, true)
+	if h.hot != nil && h.l1Line != nil {
+		h.hot[core][tag&hotMask] = hotEntry{tag: tag, ln: h.l1Line}
+	}
 	if h.tlbs != nil {
 		res.Latency += uint32(h.tlbs[core].access(addr))
 	}
 
+	if h.prefetchers != nil {
+		h.curAddr = 0 // prefetch fallout is not caused by this address
+		h.trainPrefetcher(core, pc, addr)
+	}
+	return res
+}
+
+// hotHit replays exactly what the full path does for an L1 hit: counters,
+// LRU touch, dirty/shared transition on writes (the caller guarantees the
+// line is not shared, so a write is a silent upgrade with no directory
+// traffic and an L1 hit never fills, downgrades, or touches the
+// directory), TLB latency, and prefetcher training.
+func (h *Hierarchy) hotHit(core int, addr, pc uint64, ln *line, write bool) Result {
+	h.demandAccesses++
+	l1 := h.inst(0, core)
+	l1.Accesses++
+	l1.Hits++
+	l1.lruClock++
+	ln.lru = l1.lruClock
+	if write {
+		ln.dirty = true
+		ln.shared = false
+	}
+	res := Result{Latency: h.l1Lat, Level: 1}
+	if h.tlbs != nil {
+		res.Latency += uint32(h.tlbs[core].access(addr))
+	}
 	if h.prefetchers != nil {
 		h.curAddr = 0 // prefetch fallout is not caused by this address
 		h.trainPrefetcher(core, pc, addr)
@@ -270,7 +349,13 @@ func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result 
 		}
 	}
 	for li := fillTo - 1; li >= 0; li-- {
-		h.fillLevel(li, core, tag, write, sharedByOthers)
+		ln := h.fillLevel(li, core, tag, write, sharedByOthers)
+		if li == 0 {
+			h.l1Line = ln
+		}
+	}
+	if hitLevel == 0 {
+		h.l1Line = hitLine
 	}
 	// A hit line may still need its dirty bit set on writes.
 	if hitLine != nil && write {
@@ -286,12 +371,13 @@ func (h *Hierarchy) accessLine(core int, tag uint64, write, demand bool) Result 
 	return Result{Latency: uint32(latency), Level: uint8(servedBy)}
 }
 
-// fillLevel inserts the line at one level, handling eviction fallout.
-func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
+// fillLevel inserts the line at one level, handling eviction fallout,
+// and returns the slot now holding the line.
+func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) *line {
 	inst := h.inst(li, core)
-	victimTag, evicted := inst.fill(tag, dirty, shared)
+	victimTag, evicted, inserted := inst.fill(tag, dirty, shared)
 	if !evicted || victimTag == tag {
-		return
+		return inserted
 	}
 	// Inclusive hierarchy: evicting from a lower level back-invalidates
 	// the levels above it.
@@ -356,6 +442,7 @@ func (h *Hierarchy) fillLevel(li, core int, tag uint64, dirty, shared bool) {
 			h.clearDirectoryBit(core, victimTag)
 		}
 	}
+	return inserted
 }
 
 // heldByOthers reports whether any other core's private hierarchy may hold
@@ -505,6 +592,24 @@ func (h *Hierarchy) trainPrefetcher(core int, pc, addr uint64) {
 // prefetchPresent checks whether the line is already anywhere in the
 // core's view of the hierarchy.
 func (h *Hierarchy) prefetchPresent(core int, tag uint64) bool {
+	if h.deep != nil {
+		// The hierarchy is inclusive (levels are inclusive of the levels
+		// above them), so a line present anywhere in the core's view is
+		// present in its deepest level: one peek decides. The verified
+		// shadow answers the recurring streaming case — the same few
+		// lines ahead of a confident stride, re-checked every access —
+		// in one comparison.
+		e := &h.deep[core][tag&hotMask]
+		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag {
+			return true
+		}
+		ln := h.inst(len(h.levels)-1, core).peek(tag)
+		if ln == nil {
+			return false
+		}
+		h.deep[core][tag&hotMask] = hotEntry{tag: tag, ln: ln}
+		return true
+	}
 	for li := range h.levels {
 		if h.inst(li, core).peek(tag) != nil {
 			return true
@@ -523,7 +628,13 @@ func (h *Hierarchy) prefetchFill(core int, tag uint64) {
 	}
 	shared := h.coherent && h.heldByOthers(core, tag)
 	for li := len(h.levels) - 1; li >= start; li-- {
-		h.fillLevel(li, core, tag, false, shared)
+		ln := h.fillLevel(li, core, tag, false, shared)
+		if h.deep != nil && li == len(h.levels)-1 {
+			// Seed the prefetchPresent shadow with the slot just filled:
+			// the very next access's candidate check asks about this tag,
+			// and the memo answers it without re-peeking the deepest level.
+			h.deep[core][tag&hotMask] = hotEntry{tag: tag, ln: ln}
+		}
 	}
 	if h.coherent && h.lastPriv >= start {
 		h.noteDirectoryFill(core, tag)

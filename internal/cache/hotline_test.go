@@ -1,0 +1,130 @@
+package cache
+
+// Differential tests of the L1 hot-line shadow (and the inclusion-based
+// prefetchPresent shortcut gated with it): two hierarchies fed the exact
+// same access stream, one with DisableHotLine set, must return the same
+// Result for every access and end with identical counters and coherence
+// event streams. The streams mix strided scans (shadow-friendly), random
+// accesses (eviction-heavy), and cross-core sharing with writes (the
+// invalidation paths the shadow must never short-circuit).
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+type hlCohRecorder struct {
+	events []CoherenceEvent
+}
+
+func (r *hlCohRecorder) OnCoherence(ev *CoherenceEvent) { r.events = append(r.events, *ev) }
+
+type access struct {
+	core  int
+	pc    uint64
+	addr  uint64
+	size  int
+	write bool
+}
+
+// mixedStream generates a reproducible access stream over a footprint
+// small enough to force both shadow hits and evictions, with shared hot
+// lines that both cores write.
+func mixedStream(rng *rand.Rand, n, cores int) []access {
+	accs := make([]access, 0, n)
+	for i := 0; i < n; i++ {
+		core := rng.Intn(cores)
+		var a access
+		switch rng.Intn(4) {
+		case 0: // strided scan chunk: the shadow's best case
+			base := uint64(0x1000_0000 + rng.Intn(4)*1<<20)
+			off := uint64(i%512) * 56
+			a = access{core, 0x400 + uint64(rng.Intn(8))*4, base + off, 8, rng.Intn(4) == 0}
+		case 1: // random over a span larger than L1+L2: eviction-heavy
+			a = access{core, 0x600, 0x2000_0000 + uint64(rng.Intn(1<<22)), 8, rng.Intn(3) == 0}
+		case 2: // small shared hot set, frequent writes: coherence traffic
+			a = access{core, 0x800, 0x3000_0000 + uint64(rng.Intn(16))*8, 8, rng.Intn(2) == 0}
+		default: // revisit of a tiny private window: repeated L1 hits
+			a = access{core, 0xa00 + uint64(core)*4, 0x4000_0000 + uint64(core)<<16 + uint64(rng.Intn(64))*8, 4, rng.Intn(5) == 0}
+		}
+		accs = append(accs, a)
+	}
+	return accs
+}
+
+func diffHierarchies(t *testing.T, cfg Config, cores int, accs []access) {
+	t.Helper()
+	fastCfg, refCfg := cfg, cfg
+	refCfg.DisableHotLine = true
+	fast, err := NewHierarchy(fastCfg, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewHierarchy(refCfg, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fRec, rRec := &hlCohRecorder{}, &hlCohRecorder{}
+	fast.SetCoherenceObserver(fRec)
+	ref.SetCoherenceObserver(rRec)
+	for i, a := range accs {
+		fr := fast.Access(a.core, a.pc, a.addr, a.size, a.write)
+		rr := ref.Access(a.core, a.pc, a.addr, a.size, a.write)
+		if fr != rr {
+			t.Fatalf("access %d (%+v): result %+v (hotline) vs %+v (reference)", i, a, fr, rr)
+		}
+	}
+	if fs, rs := fast.Stats(), ref.Stats(); !reflect.DeepEqual(fs, rs) {
+		t.Errorf("stats differ\nhotline:   %+v\nreference: %+v", fs, rs)
+	}
+	if !reflect.DeepEqual(fRec.events, rRec.events) {
+		t.Errorf("coherence event streams differ: %d events (hotline) vs %d (reference)",
+			len(fRec.events), len(rRec.events))
+	}
+}
+
+func TestHotLineDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cores int
+		mut   func(*Config)
+	}{
+		{"1core-default", 1, nil},
+		{"2core-default", 2, nil},
+		{"4core-default", 4, nil},
+		{"2core-noprefetch", 2, func(c *Config) { c.Prefetch = false }},
+		{"2core-tlb", 2, func(c *Config) { c.TLB = DefaultTLBConfig() }},
+		{"1core-l1only", 1, func(c *Config) {
+			c.Levels = c.Levels[:1]
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			rng := rand.New(rand.NewSource(int64(len(tc.name)) * 7919))
+			accs := mixedStream(rng, 60_000, tc.cores)
+			diffHierarchies(t, cfg, tc.cores, accs)
+		})
+	}
+}
+
+// TestHotLineStaleEntrySafety drives the specific interleaving the shadow
+// must survive: core 0 caches a line in its shadow, core 1 writes the
+// line (invalidating core 0's copy through the directory), then core 0
+// accesses it again — the shadow entry is stale and must fail its
+// verification compare, producing the same miss the reference sees.
+func TestHotLineStaleEntrySafety(t *testing.T) {
+	cfg := DefaultConfig()
+	seq := []access{
+		{0, 0x400, 0x5000_0000, 8, false}, // core 0 reads: line in L1 + shadow
+		{0, 0x400, 0x5000_0000, 8, false}, // shadow hit
+		{1, 0x404, 0x5000_0000, 8, true},  // core 1 writes: invalidates core 0
+		{0, 0x400, 0x5000_0000, 8, false}, // stale shadow: must miss and re-fetch
+		{0, 0x400, 0x5000_0000, 8, true},  // write on a now-shared line: full path probe
+		{1, 0x404, 0x5000_0000, 8, false}, // and back
+	}
+	diffHierarchies(t, cfg, 2, seq)
+}

@@ -12,6 +12,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -117,6 +118,18 @@ func (s *Space) ReadInt(addr uint64, size int) int64 {
 	off := addr & pageMask
 	p := s.page(addr)
 	if off+uint64(size) <= pageSize {
+		// Bulk little-endian loads for the common sizes; identical to the
+		// byte loop, which remains for the odd ones.
+		switch size {
+		case 8:
+			return int64(binary.LittleEndian.Uint64(p[off : off+8]))
+		case 4:
+			return int64(uint64(binary.LittleEndian.Uint32(p[off : off+4])))
+		case 2:
+			return int64(uint64(binary.LittleEndian.Uint16(p[off : off+2])))
+		case 1:
+			return int64(uint64(p[off]))
+		}
 		var v uint64
 		for i := size - 1; i >= 0; i-- {
 			v = v<<8 | uint64(p[off+uint64(i)])
@@ -136,6 +149,20 @@ func (s *Space) WriteInt(addr uint64, size int, v int64) {
 	p := s.page(addr)
 	if off+uint64(size) <= pageSize {
 		u := uint64(v)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:off+8], u)
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:off+4], uint32(u))
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:off+2], uint16(u))
+			return
+		case 1:
+			p[off] = byte(u)
+			return
+		}
 		for i := 0; i < size; i++ {
 			p[off+uint64(i)] = byte(u)
 			u >>= 8

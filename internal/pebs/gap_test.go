@@ -1,0 +1,172 @@
+package pebs
+
+// Protocol tests for the GapSampler contract: a machine that consults
+// AccessGap, silently runs the promised number of accesses, books them
+// via SkipAccesses (PEBS-LL) or not at all (IBS), and only then delivers
+// the next event must leave the sampler with exactly the samples and
+// costs an every-event delivery produces. This pins the contract the
+// fast engine relies on, against the real sampler rather than a double.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// synthEvents builds an interleaved two-thread access stream with
+// per-thread monotonic cycle and instruction counters, over real objects
+// so attribution resolves.
+func synthEvents(space *mem.Space, n int) []vm.MemEvent {
+	o1 := space.AllocStatic("a", 1<<16, -1, 0)
+	o2 := space.AllocStatic("b", 1<<16, -1, 1)
+	rng := rand.New(rand.NewSource(42))
+	type tstate struct{ cycle, instrs uint64 }
+	var ts [2]tstate
+	evs := make([]vm.MemEvent, 0, n)
+	for i := 0; i < n; i++ {
+		tid := rng.Intn(2)
+		st := &ts[tid]
+		// Each access retires 1-4 instructions after the previous one;
+		// some gaps guarantee IBS tags land on non-memory instructions.
+		st.instrs += uint64(1 + rng.Intn(4))
+		st.cycle += uint64(4 + rng.Intn(40))
+		base := o1.Base
+		if rng.Intn(3) == 0 {
+			base = o2.Base
+		}
+		evs = append(evs, vm.MemEvent{
+			TID:     tid,
+			IP:      0x400 + uint64(rng.Intn(16))*4,
+			EA:      base + uint64(rng.Intn(1<<12))*8,
+			Size:    8,
+			Write:   rng.Intn(4) == 0,
+			Latency: uint32(4 + rng.Intn(200)),
+			Level:   uint8(1 + rng.Intn(3)),
+			Cycle:   st.cycle,
+			Instrs:  st.instrs,
+		})
+	}
+	return evs
+}
+
+// deliverAll replays the stream through OnAccess for every event.
+func deliverAll(s *Sampler, evs []vm.MemEvent) (cost uint64) {
+	for i := range evs {
+		cost += s.OnAccess(&evs[i])
+	}
+	return cost
+}
+
+// deliverGapped replays the stream the way the fast engine does: consult
+// AccessGap after every delivery, skip the promised events, and flush
+// pending skip counts at random points (the machine flushes at quantum
+// boundaries, which land arbitrarily relative to the stream).
+func deliverGapped(t *testing.T, s *Sampler, evs []vm.MemEvent) (cost uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	type budget struct {
+		gap      uint64
+		byInstrs bool
+		pend     uint64
+	}
+	var b [2]budget
+	for tid := range b {
+		b[tid].gap, b[tid].byInstrs = s.AccessGap(tid)
+	}
+	flush := func(tid int) {
+		if !b[tid].byInstrs && b[tid].pend > 0 {
+			s.SkipAccesses(tid, b[tid].pend)
+			b[tid].pend = 0
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		tid := ev.TID
+		skip := false
+		if b[tid].byInstrs {
+			skip = ev.Instrs < b[tid].gap
+		} else if b[tid].gap > 0 {
+			b[tid].gap--
+			b[tid].pend++
+			skip = true
+		}
+		if skip {
+			if rng.Intn(16) == 0 { // a quantum boundary lands here
+				flush(tid)
+			}
+			continue
+		}
+		flush(tid)
+		c := s.OnAccess(ev)
+		if !b[tid].byInstrs && c == 0 && s.cfg.MinLatency == 0 {
+			t.Fatalf("event %d: delivery at gap end produced no sample", i)
+		}
+		cost += c
+		b[tid].gap, b[tid].byInstrs = s.AccessGap(tid)
+	}
+	flush(0)
+	flush(1)
+	return cost
+}
+
+func profilesOf(s *Sampler) []*profile.ThreadProfile { return s.Profiles() }
+
+func TestGapProtocolMatchesEveryEventDelivery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"pebs-fixed", Config{Period: 53, InterruptCost: 100, SharedAttribCost: 10}},
+		{"pebs-randomized", Config{Period: 97, Randomize: true, Seed: 5, InterruptCost: 100, SharedAttribCost: 10}},
+		{"pebs-minlat", Config{Period: 53, MinLatency: 60, InterruptCost: 100}},
+		{"ibs-fixed", Config{Mode: ModeIBS, Period: 41, InterruptCost: 100}},
+		{"ibs-randomized", Config{Mode: ModeIBS, Period: 89, Randomize: true, Seed: 9, InterruptCost: 100}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spaceA, spaceB := mem.NewSpace(), mem.NewSpace()
+			evs := synthEvents(spaceA, 40_000)
+			// Rebuild identical objects in the second space so both
+			// samplers attribute against equal tables.
+			synthEvents(spaceB, 0)
+			every := NewSampler(tc.cfg, spaceA, 2)
+			gapped := NewSampler(tc.cfg, spaceB, 2)
+			costA := deliverAll(every, evs)
+			costB := deliverGapped(t, gapped, evs)
+			if costA != costB {
+				t.Errorf("handler costs differ: every-event %d, gapped %d", costA, costB)
+			}
+			pa, pb := profilesOf(every), profilesOf(gapped)
+			if !reflect.DeepEqual(pa, pb) {
+				t.Errorf("profiles differ (every-event %d/%d samples, gapped %d/%d)",
+					pa[0].NumSamples, pa[1].NumSamples, pb[0].NumSamples, pb[1].NumSamples)
+			}
+			if pa[0].NumSamples+pa[1].NumSamples == 0 {
+				t.Error("no samples recorded; test has no power")
+			}
+		})
+	}
+}
+
+// TestAccessGapInvariant checks the documented bookkeeping identity for
+// PEBS-LL: after any prefix of deliveries and skips, countdown always
+// equals the remaining gap plus one.
+func TestAccessGapInvariant(t *testing.T) {
+	space := mem.NewSpace()
+	evs := synthEvents(space, 5_000)
+	s := NewSampler(Config{Period: 31, Randomize: true, Seed: 3, InterruptCost: 1}, space, 2)
+	for i := range evs {
+		tid := evs[i].TID
+		gap, byInstrs := s.AccessGap(tid)
+		if byInstrs {
+			t.Fatal("PEBS mode must report access-counted gaps")
+		}
+		if got := s.threads[tid].countdown; got != gap+1 {
+			t.Fatalf("event %d: countdown %d != gap %d + 1", i, got, gap)
+		}
+		s.OnAccess(&evs[i])
+	}
+}

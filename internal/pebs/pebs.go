@@ -227,6 +227,29 @@ func (s *Sampler) OnAccess(ev *vm.MemEvent) uint64 {
 	return cost
 }
 
+// AccessGap implements vm.GapSampler: it tells the machine how many
+// upcoming events this thread's sampler will certainly ignore, so the
+// interpreter can run them without materializing MemEvents. PEBS-LL
+// counts memory accesses: with countdown accesses until the next sample,
+// the next countdown-1 are free (the machine reports them in bulk via
+// SkipAccesses). IBS tags an absolute instruction number: every access
+// retiring before instruction nextAt is free, and — because sub-
+// threshold events change no sampler state at all — needs no report.
+func (s *Sampler) AccessGap(tid int) (gap uint64, byInstrs bool) {
+	ts := &s.threads[tid]
+	if s.cfg.Mode == ModeIBS {
+		return ts.nextAt, true
+	}
+	return ts.countdown - 1, false
+}
+
+// SkipAccesses implements vm.GapSampler: the machine ran n accesses of
+// the thread through the no-copy-out path; account for them exactly as
+// if OnAccess had counted each one down.
+func (s *Sampler) SkipAccesses(tid int, n uint64) {
+	s.threads[tid].countdown -= n
+}
+
 // Finish snapshots the object table into each thread profile and attaches
 // the run's cycle accounts; call it once after the machine run completes.
 func (s *Sampler) Finish(st vm.Stats) []*profile.ThreadProfile {

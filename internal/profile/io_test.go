@@ -2,7 +2,10 @@ package profile
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -127,5 +130,81 @@ func TestProfileRoundTripThroughThreadFiles(t *testing.T) {
 		if tp.Streams == nil {
 			t.Fatal("decoded thread profile has nil stream map")
 		}
+	}
+}
+
+// TestReadDirNoProfiles: a missing directory and an existing-but-empty
+// directory both fail with an error naming the directory, not a nil
+// slice the caller would merge into an empty profile.
+func TestReadDirNoProfiles(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "does-not-exist")
+	if _, err := ReadDir(missing); err == nil {
+		t.Error("ReadDir on a missing directory succeeded")
+	} else if !strings.Contains(err.Error(), missing) {
+		t.Errorf("error %q does not name the directory", err)
+	}
+
+	empty := t.TempDir()
+	if _, err := ReadDir(empty); err == nil || !strings.Contains(err.Error(), "no profiles found") {
+		t.Errorf("ReadDir on an empty directory: got %v, want a no-profiles error", err)
+	}
+}
+
+// TestReadDirTruncatedFile: a profile file cut short mid-gob-stream (a
+// crashed profiled run) must fail decoding with an error that names the
+// bad file, and must not surface the intact profiles as a partial set.
+func TestReadDirTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(dir, buildThreadProfiles()); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, profileFileName(1))
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("ReadDir with a truncated profile succeeded")
+	} else if !strings.Contains(err.Error(), victim) {
+		t.Errorf("error %q does not name the truncated file", err)
+	}
+}
+
+// TestWriteDirCreateFailure: WriteDir into a path whose parent is a
+// regular file must report the MkdirAll failure instead of panicking or
+// silently writing nothing.
+func TestWriteDirCreateFailure(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDir(filepath.Join(blocker, "profiles"), buildThreadProfiles()); err == nil {
+		t.Error("WriteDir under a regular file succeeded")
+	}
+}
+
+// TestReadDirMixedPeriods: profiles dumped by runs with different
+// sampling periods load fine individually but must be rejected by the
+// merge — combining them would mis-scale every extrapolated count.
+func TestReadDirMixedPeriods(t *testing.T) {
+	tps := buildThreadProfiles()
+	odd := NewThreadProfile(2, 20_000) // different period from the others
+	odd.Add(Sample{TID: 2, IP: 0x400400, EA: 0x10000, Latency: 9, Cycle: 5, ObjID: 1, Ctx: 7}, 11)
+	dir := t.TempDir()
+	if err := WriteDir(dir, append(tps, odd)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded %d profiles, want 3", len(loaded))
+	}
+	if _, err := ReduceThreadProfiles(loaded, 2); err == nil || !strings.Contains(err.Error(), "different periods") {
+		t.Errorf("merging mixed-period profiles: got %v, want a different-periods error", err)
 	}
 }

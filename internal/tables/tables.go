@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/pebs"
 	"repro/internal/prog"
@@ -28,6 +29,12 @@ type Options struct {
 	// at any setting: every simulation is deterministically seeded and
 	// owns its machine, and tables render in workload order.
 	Parallel int
+	// Reference forces the reference engines — the switch-dispatch
+	// interpreter instead of the block-compiled one, and the full
+	// hierarchy walk instead of the L1 hot-line shadow. Output is
+	// identical either way (the fast paths change no observable event);
+	// differential tests set it to prove that.
+	Reference bool
 }
 
 // effectivePeriod is the sampling period after defaulting; result-cache
@@ -44,11 +51,18 @@ func (o Options) runOptions() structslim.Options {
 	if period == 0 {
 		period = 10_000
 	}
-	return structslim.Options{
+	opt := structslim.Options{
 		SamplePeriod: period,
 		Seed:         o.Seed + 1,
 		Analysis:     core.Options{TopK: 3},
 	}
+	if o.Reference {
+		cfg := cache.DefaultConfig()
+		cfg.DisableHotLine = true
+		opt.Cache = &cfg
+		opt.VM.Reference = true
+	}
+	return opt
 }
 
 // BenchResult is the full outcome of one benchmark's Table 3/4 pipeline:

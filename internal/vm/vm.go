@@ -10,6 +10,21 @@
 // "original execution time" and the "with profiler" time the paper
 // reports: the wall clock is the max over threads of app cycles, with and
 // without the overhead account.
+//
+// # How the fast path preserves determinism
+//
+// The machine has two execution engines. The reference engine
+// (Config.Reference) interprets isa.Instr values block by block; the
+// default engine runs code block-compiled at NewMachine time
+// (compile.go) and, when the observer is a GapSampler, skips
+// materializing MemEvents for accesses the sampler has promised to
+// ignore. Both engines retire the same instructions in the same order
+// with the same costs against the same memory and cache state, and a
+// skipped event changes no sampler-visible state (the skip count is
+// reported in bulk before the next delivered event), so profiles,
+// statistics, and observer event streams are bit-identical between the
+// two — the fast path changes how fast the simulation runs, never what
+// it computes. The differential tests in fastpath_test.go enforce this.
 package vm
 
 import (
@@ -77,6 +92,11 @@ type Config struct {
 	Quantum int
 	// MaxInstrs aborts runaway programs (0 means a very large default).
 	MaxInstrs uint64
+	// Reference forces the original per-instruction interpreter with
+	// per-access observer delivery instead of the block-compiled engine.
+	// Results are identical either way (see the package comment);
+	// differential tests and baseline benchmarks use it.
+	Reference bool
 }
 
 // DefaultConfig returns the interpreter defaults.
@@ -112,6 +132,7 @@ var opCost = func() [64]uint64 {
 // whole register file; r1 carries the return value through the restore.
 type frame struct {
 	fn, blk, idx int
+	pc           int // flat resume index (compiled engine)
 	regs         [isa.NumRegs]int64
 	callIP       uint64
 }
@@ -124,10 +145,19 @@ type Thread struct {
 	Regs [isa.NumRegs]int64
 
 	fn, blk, idx int
+	pc           int // flat uop index (compiled engine)
 	frames       []frame
 	callPath     []uint64 // call-site IPs, outermost first
 	ctxStack     []uint64 // incremental hash of callPath per depth
 	Halted       bool
+
+	// Batched-sampling state (compiled engine with a GapSampler):
+	// sampSkip accesses remain undeliverable, pendSkip of them have not
+	// been reported yet, and instrGate is the IBS-style absolute retired-
+	// instruction threshold below which accesses are not delivered.
+	sampSkip  uint64
+	pendSkip  uint64
+	instrGate uint64
 
 	Cycles         uint64 // application cycles
 	OverheadCycles uint64 // observer-charged cycles
@@ -154,6 +184,12 @@ type Machine struct {
 
 	globalBase []uint64
 	cfg        Config
+
+	// code is the block-compiled program (nil under Config.Reference);
+	// gap/gapByInstr cache the observer's GapSampler view for one Run.
+	code       [][]cop
+	gap        GapSampler
+	gapByInstr bool
 
 	// evScratch is the MemEvent handed to the observer. Reusing one
 	// machine-owned event keeps the per-access path allocation-free: a
@@ -185,6 +221,9 @@ func NewMachine(p *prog.Program, cacheCfg cache.Config, numCores int, cfg Config
 	for gi, g := range p.Globals {
 		o := m.Space.AllocStatic(g.Name, uint64(g.Size), g.TypeID, gi)
 		m.globalBase = append(m.globalBase, o.Base)
+	}
+	if !cfg.Reference {
+		m.code = compileProgram(p, m.globalBase)
 	}
 	return m, nil
 }
@@ -221,6 +260,25 @@ func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 		m.Threads = append(m.Threads, t)
 	}
 
+	// A GapSampler observer lets the compiled engine batch non-sample
+	// accesses; arm each thread's initial skip budget. The reference
+	// engine always delivers every access.
+	m.gap = nil
+	if m.code != nil && m.Observer != nil {
+		if g, ok := m.Observer.(GapSampler); ok {
+			m.gap = g
+			for _, t := range m.Threads {
+				gap, byInstr := g.AccessGap(t.ID)
+				m.gapByInstr = byInstr
+				if byInstr {
+					t.instrGate = gap
+				} else {
+					t.sampSkip = gap
+				}
+			}
+		}
+	}
+
 	var executed uint64
 	for {
 		alive := false
@@ -229,7 +287,13 @@ func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 				continue
 			}
 			alive = true
-			n, err := m.stepThread(t, m.cfg.Quantum)
+			var n uint64
+			var err error
+			if m.code != nil {
+				n, err = m.stepThreadFast(t, m.cfg.Quantum)
+			} else {
+				n, err = m.stepThread(t, m.cfg.Quantum)
+			}
 			if err != nil {
 				return Stats{}, fmt.Errorf("thread %d: %w", t.ID, err)
 			}
