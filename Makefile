@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing
+.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke
 
 all: build lint test
 
@@ -28,6 +28,20 @@ fmt:
 fuzz:
 	$(GO) test ./internal/staticlint/ -fuzz FuzzResolver -fuzztime 30s
 
+# stream-smoke: the streaming-service acceptance smoke — start the
+# ingest server, push the quickstart workload's sample stream over HTTP,
+# and require (-selftest) the server's online report and its
+# snapshot-derived report to be byte-identical to the local batch
+# analysis.
+STREAM_ADDR ?= 127.0.0.1:7080
+stream-smoke:
+	$(GO) build -o /tmp/structslim-smoke ./cmd/structslim
+	/tmp/structslim-smoke serve -workload quickstart -addr $(STREAM_ADDR) \
+		-final-report=false & echo $$! > /tmp/structslim-smoke.pid
+	/tmp/structslim-smoke push -workload quickstart -addr $(STREAM_ADDR) \
+		-period 3000 -seed 7 -selftest; \
+		rc=$$?; kill $$(cat /tmp/structslim-smoke.pid) 2>/dev/null; exit $$rc
+
 # vet-sharing: the false-sharing acceptance smoke — the planted fixture
 # must be flagged statically and confirmed by the coherence cross-check.
 vet-sharing:
@@ -39,14 +53,15 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-smoke: one iteration of the perf-critical benchmarks — the
-# hot-path microbenchmarks and the parallel-engine speedup/identity
-# check — plus the ART end-to-end reference-vs-fastpath benchmark, with
-# metrics captured as text and as JSON (BENCH_4.json) for CI upload.
+# hot-path microbenchmarks, the parallel-engine speedup/identity check,
+# and the streaming-ingest throughput (direct vs HTTP-framed) — plus the
+# ART end-to-end reference-vs-fastpath benchmark, with metrics captured
+# as text and as JSON (BENCH_5.json) for CI upload.
 BENCH_METRICS ?= bench-metrics.txt
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 bench-smoke:
 	$(GO) test -run '^$$' -benchtime 1x \
-		-bench 'BenchmarkRunnerParallel|BenchmarkMachineHotPath|BenchmarkCacheAccess|BenchmarkInterpreter' \
+		-bench 'BenchmarkRunnerParallel|BenchmarkMachineHotPath|BenchmarkCacheAccess|BenchmarkInterpreter|BenchmarkStreamIngest' \
 		-benchmem . | tee $(BENCH_METRICS)
 	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkARTProfile' \
 		-benchmem . | tee -a $(BENCH_METRICS)
@@ -54,11 +69,12 @@ bench-smoke:
 
 # bench-gate: re-measure the ART end-to-end benchmark and fail when the
 # fast-path speedup over the reference engines regressed more than 15%
-# against the committed BENCH_4.json baseline. The gated metric is the
-# in-run speedup ratio, so it is machine-neutral.
+# against the committed BENCH_5.json baseline. The gated metric is the
+# in-run speedup ratio, so it is machine-neutral. A missing baseline
+# skips the gate (benchjson prints "no baseline ...").
 bench-gate:
 	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkARTProfile' . \
 		| tee /tmp/bench-gate.txt
-	$(GO) run ./cmd/benchjson -gate -in /tmp/bench-gate.txt -baseline BENCH_4.json \
+	$(GO) run ./cmd/benchjson -gate -in /tmp/bench-gate.txt -baseline $(BENCH_JSON) \
 		-bench BenchmarkARTProfile/fastpath -metric x-vs-reference \
 		-higher-is-better -max-regress 15

@@ -154,6 +154,12 @@ func runGate(cur Doc, baselinePath, bench, metric string, higherIsBetter bool, m
 		return fmt.Errorf("-gate requires -baseline and -bench")
 	}
 	raw, err := os.ReadFile(baselinePath)
+	if os.IsNotExist(err) {
+		// First run on a branch without a recorded baseline: nothing to
+		// compare against, so pass (the convert step still records one).
+		fmt.Printf("no baseline %s: skipping gate\n", baselinePath)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,13 @@
 //
 //	structslim vet -workload quickstart
 //	structslim vet -all [-static-only]
+//
+// The serve and push subcommands run the streaming profile service: serve
+// hosts the online analyzer behind an HTTP ingest API, push profiles a
+// workload locally and replays its sample stream to a server:
+//
+//	structslim serve -workload art -addr 127.0.0.1:7080
+//	structslim push -workload art -addr 127.0.0.1:7080 -selftest
 package main
 
 import (
@@ -32,9 +39,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "vet" {
-		fail(runVet(os.Args[2:], os.Stdout))
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "vet":
+			fail(runVet(os.Args[2:], os.Stdout))
+			return
+		case "serve":
+			fail(runServe(os.Args[2:], os.Stdout))
+			return
+		case "push":
+			fail(runPush(os.Args[2:], os.Stdout))
+			return
+		}
 	}
 	var (
 		name     = flag.String("workload", "", "workload to profile (see -list)")

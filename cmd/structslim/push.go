@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+// runPush profiles a workload locally and replays its per-thread sample
+// streams to a `structslim serve` instance over HTTP — the zero-to-demo
+// client of the streaming service, and the reference implementation of
+// the wire protocol (one session per thread, object table on the first
+// batch, cycle accounts on the last, 429 backpressure honored).
+//
+//	structslim push -workload art [-addr 127.0.0.1:7080] [-batch 256] [-selftest]
+func runPush(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	var (
+		name      = fs.String("workload", "", "workload to profile and push")
+		scale     = fs.String("scale", "test", "problem scale: test or bench")
+		addr      = fs.String("addr", "127.0.0.1:7080", "server address")
+		period    = fs.Uint64("period", 10_000, "address-sampling period in memory accesses")
+		seed      = fs.Uint64("seed", 1, "sampling randomization seed")
+		batchSize = fs.Int("batch", 256, "samples per pushed batch")
+		ndjson    = fs.Bool("ndjson", false, "push NDJSON instead of gob")
+		wait      = fs.Duration("wait", 10*time.Second, "how long to retry connecting to the server")
+		selftest  = fs.Bool("selftest", false, "fetch the server's reports and diff them against the local batch analysis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("push: need -workload")
+	}
+	if *batchSize <= 0 {
+		return fmt.Errorf("push: -batch must be positive")
+	}
+
+	w, err := workloads.Get(*name)
+	if err != nil {
+		return err
+	}
+	sc := workloads.ScaleTest
+	if *scale == "bench" {
+		sc = workloads.ScaleBench
+	}
+	p, phases, err := w.Build(nil, sc)
+	if err != nil {
+		return err
+	}
+	opt := structslim.Options{SamplePeriod: *period, Seed: *seed}
+	res, err := structslim.ProfileRun(p, phases, opt)
+	if err != nil {
+		return err
+	}
+
+	ct := server.ContentTypeGob
+	if *ndjson {
+		ct = server.ContentTypeNDJSON
+	}
+	base := "http://" + *addr
+	if err := waitForServer(base, *wait); err != nil {
+		return err
+	}
+
+	pushed, batches := 0, 0
+	for _, tp := range res.ThreadProfiles {
+		session := fmt.Sprintf("push-t%03d", tp.TID)
+		n := len(tp.Samples)
+		var seq uint64
+		for start := 0; start < n || start == 0; start += *batchSize {
+			end := start + *batchSize
+			if end > n {
+				end = n
+			}
+			b := stream.Batch{
+				Session: session,
+				Process: "push",
+				TID:     int32(tp.TID),
+				Period:  tp.Period,
+				Seq:     seq,
+				Samples: tp.Samples[start:end],
+			}
+			if start == 0 {
+				b.Objects = tp.Objects
+			}
+			if end == n {
+				b.AppCycles = tp.AppCycles
+				b.OverheadCycles = tp.OverheadCycles
+				b.MemOps = tp.MemOps
+			}
+			if err := postBatch(base, ct, b); err != nil {
+				return fmt.Errorf("push: session %s batch %d: %w", session, seq, err)
+			}
+			pushed += end - start
+			batches++
+			seq++
+			if end == n {
+				break
+			}
+		}
+	}
+	fmt.Fprintf(out, "structslim push: %d samples in %d batches (%d sessions) to %s\n",
+		pushed, batches, len(res.ThreadProfiles), base)
+
+	if !*selftest {
+		return nil
+	}
+
+	// Self-test: the server's online report and its snapshot-derived
+	// report must both be byte-identical to the local batch analysis.
+	local, err := core.Analyze(res.Profile, p, opt.Analysis)
+	if err != nil {
+		return err
+	}
+	var want bytes.Buffer
+	local.RenderText(&want)
+	for _, path := range []string{"/v1/report", "/v1/report?source=snapshot"} {
+		body, err := httpGet(base + path)
+		if err != nil {
+			return fmt.Errorf("selftest: %s: %w", path, err)
+		}
+		if !bytes.Equal(body, want.Bytes()) {
+			return fmt.Errorf("selftest: GET %s differs from local batch report (%d vs %d bytes)",
+				path, len(body), want.Len())
+		}
+	}
+	fmt.Fprintln(out, "structslim push: selftest ok — server reports byte-identical to local analysis")
+	return nil
+}
+
+// postBatch sends one batch, honoring 429 + Retry-After backpressure.
+func postBatch(base, ct string, b stream.Batch) error {
+	var body bytes.Buffer
+	if err := server.EncodeBatches(&body, ct, []stream.Batch{b}); err != nil {
+		return err
+	}
+	payload := body.Bytes()
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/v1/samples", ct, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return nil
+		case http.StatusTooManyRequests:
+			if attempt > 100 {
+				return fmt.Errorf("giving up after %d backpressure retries", attempt)
+			}
+			delay := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			// The server queues whole requests; with one batch per request
+			// a rejected POST took nothing, so resending is exact.
+			time.Sleep(delay)
+		default:
+			return fmt.Errorf("server returned %s", resp.Status)
+		}
+	}
+}
+
+// waitForServer polls /metrics until the server answers.
+func waitForServer(base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not reachable: %w", base, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return body, nil
+}

@@ -22,13 +22,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/affinity"
 	"repro/internal/cfg"
 	"repro/internal/profile"
 	"repro/internal/prog"
-	"repro/internal/stride"
 )
 
 // Options tunes the analyzer.
@@ -199,9 +197,10 @@ type SplitAdvice struct {
 	Complete bool
 }
 
-// Analyze runs the full pipeline.
+// Analyze runs the full pipeline: accumulate per-identity state in one
+// pass over the samples (see online.go), then build the report from the
+// accumulators and the merged stream statistics.
 func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, error) {
-	opt = opt.withDefaults()
 	if p == nil || program == nil {
 		return nil, fmt.Errorf("nil profile or program")
 	}
@@ -209,83 +208,15 @@ func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, e
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
+	accums := AccumulateProfile(p, loops)
+	meta := ReportMeta{
 		Program:      program.Name,
 		TotalLatency: p.TotalLatency,
 		NumSamples:   p.NumSamples,
 		Threads:      p.Threads,
 		OverheadPct:  p.OverheadPct(),
-		Loops:        loops,
 	}
-
-	objByID := make(map[int32]*profile.ObjInfo, len(p.Objects))
-	for i := range p.Objects {
-		objByID[p.Objects[i].ID] = &p.Objects[i]
-	}
-
-	// --- Stage 1: pinpoint hot data (Equation 1) -------------------------
-	type accum struct {
-		identity uint64
-		latency  uint64
-		samples  uint64
-		objects  map[int32]bool
-		anyObj   *profile.ObjInfo
-	}
-	groups := make(map[uint64]*accum)
-	for i := range p.Samples {
-		s := &p.Samples[i]
-		if s.ObjID < 0 {
-			continue
-		}
-		obj := objByID[s.ObjID]
-		if obj == nil {
-			continue
-		}
-		g := groups[obj.Identity]
-		if g == nil {
-			g = &accum{identity: obj.Identity, objects: make(map[int32]bool), anyObj: obj}
-			groups[obj.Identity] = g
-		}
-		g.latency += uint64(s.Latency)
-		g.samples++
-		g.objects[s.ObjID] = true
-	}
-
-	ranked := make([]*accum, 0, len(groups))
-	for _, g := range groups {
-		ranked = append(ranked, g)
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].latency != ranked[j].latency {
-			return ranked[i].latency > ranked[j].latency
-		}
-		return ranked[i].identity < ranked[j].identity
-	})
-
-	for rank, g := range ranked {
-		ld := 0.0
-		if p.TotalLatency > 0 {
-			ld = float64(g.latency) / float64(p.TotalLatency)
-		}
-		analyzed := (rank < opt.TopK && ld >= opt.MinLd) || opt.KeepAllGroups
-		rep.Ranking = append(rep.Ranking, RankEntry{
-			Identity:   g.identity,
-			Name:       displayName(g.anyObj, program),
-			Ld:         ld,
-			LatencySum: g.latency,
-			NumSamples: g.samples,
-			Analyzed:   analyzed,
-		})
-		if !analyzed {
-			continue
-		}
-		sr, err := analyzeStruct(p, program, loops, objByID, g.identity, g.latency, ld, len(g.objects), g.anyObj, opt)
-		if err != nil {
-			return nil, err
-		}
-		rep.Structures = append(rep.Structures, sr)
-	}
-	return rep, nil
+	return BuildReport(meta, accums, p.Streams, p.ObjByID, program, loops, opt)
 }
 
 // displayName renders a structure's identity for humans: the symbol name
@@ -301,198 +232,6 @@ func displayName(obj *profile.ObjInfo, program *prog.Program) string {
 		return fmt.Sprintf("heap@%s:%d", file, line)
 	}
 	return obj.Name
-}
-
-// analyzeStruct runs stages 2 and 3 for one structure.
-func analyzeStruct(
-	p *profile.Profile,
-	program *prog.Program,
-	loops *cfg.ProgramLoops,
-	objByID map[int32]*profile.ObjInfo,
-	identity uint64,
-	latencySum uint64,
-	ld float64,
-	numObjects int,
-	anyObj *profile.ObjInfo,
-	opt Options,
-) (*StructReport, error) {
-	sr := &StructReport{
-		Identity:     identity,
-		Name:         displayName(anyObj, program),
-		Ld:           ld,
-		LatencySum:   latencySum,
-		NumObjects:   numObjects,
-		LevelSamples: make(map[uint8]uint64),
-	}
-
-	// Debug info (used for validation and naming only).
-	var debugType *prog.StructType
-	if anyObj.TypeID >= 0 && int(anyObj.TypeID) < len(program.Types) {
-		debugType = program.Types[anyObj.TypeID]
-		sr.TypeName = debugType.Name
-		sr.TrueSize = debugType.Size
-		sr.debugFields = debugType.Fields
-	}
-
-	// --- Stage 2a: streams and strides (Equations 2–3, 5) ---------------
-	type streamInfo struct {
-		key   profile.StreamKey
-		stat  *profile.StreamStat
-		voted bool
-	}
-	var streams []streamInfo
-	var sizeVotes []uint64
-	for key, stat := range p.Streams {
-		if key.Identity != identity {
-			continue
-		}
-		si := streamInfo{key: key, stat: stat}
-		if stat.Count >= opt.MinStreamSamples && stat.GCD >= stride.MinMeaningfulStride {
-			si.voted = true
-			sizeVotes = append(sizeVotes, stat.GCD)
-		}
-		streams = append(streams, si)
-	}
-	sort.Slice(streams, func(i, j int) bool { return streams[i].key.IP < streams[j].key.IP })
-	sr.InferredSize = stride.StructSize(sizeVotes)
-
-	size := sr.InferredSize
-	if size == 0 {
-		// No regular stream pinned the size: the structure is accessed
-		// irregularly everywhere; report streams but no field analysis.
-		for _, si := range streams {
-			sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, UnknownOffset, program, loops))
-		}
-		return sr, nil
-	}
-
-	// --- Stage 2b: per-sample offsets, field and loop tables -------------
-	fieldLat := make(map[uint64]uint64)
-	fieldSamples := make(map[uint64]uint64)
-	fieldWrites := make(map[uint64]uint64)
-	type loopAgg struct {
-		lat     uint64
-		offsets map[uint64]bool
-	}
-	loopTab := make(map[uint64]*loopAgg) // loop key (0 = outside)
-	ab := affinity.NewBuilder()
-
-	for i := range p.Samples {
-		s := &p.Samples[i]
-		if s.ObjID < 0 {
-			continue
-		}
-		obj := objByID[s.ObjID]
-		if obj == nil || obj.Identity != identity {
-			continue
-		}
-		off := stride.Offset(s.EA, obj.Base, size)
-		fieldLat[off] += uint64(s.Latency)
-		fieldSamples[off]++
-		if s.Write {
-			fieldWrites[off]++
-		}
-		sr.LevelSamples[s.Level]++
-
-		var loopKey uint64
-		if li := loops.LoopOfIP(s.IP); li != nil {
-			loopKey = li.Key
-		}
-		la := loopTab[loopKey]
-		if la == nil {
-			la = &loopAgg{offsets: make(map[uint64]bool)}
-			loopTab[loopKey] = la
-		}
-		la.lat += uint64(s.Latency)
-		la.offsets[off] = true
-
-		// Affinity (Equation 7) counts co-occurrence within loops.
-		// Accesses outside any loop get a per-instruction pseudo-region
-		// so unrelated straight-line code does not fake co-occurrence.
-		affKey := loopKey
-		if affKey == 0 {
-			affKey = s.IP | 1<<63
-		}
-		weight := uint64(s.Latency)
-		if opt.WeightByCount {
-			weight = 1
-		}
-		ab.Add(affKey, off, weight)
-	}
-
-	// Field table (Table 5).
-	offsets := make([]uint64, 0, len(fieldLat))
-	for off := range fieldLat {
-		offsets = append(offsets, off)
-	}
-	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
-	for _, off := range offsets {
-		fr := FieldReport{
-			Offset:     off,
-			Name:       sr.fieldName(off),
-			LatencySum: fieldLat[off],
-			Samples:    fieldSamples[off],
-			Writes:     fieldWrites[off],
-		}
-		if latencySum > 0 {
-			fr.Share = float64(fr.LatencySum) / float64(latencySum)
-		}
-		sr.Fields = append(sr.Fields, fr)
-	}
-
-	// Loop table (Table 6).
-	for key, la := range loopTab {
-		lr := LoopReport{LatencySum: la.lat}
-		if latencySum > 0 {
-			lr.Share = float64(la.lat) / float64(latencySum)
-		}
-		if key != 0 {
-			lr.Loop = loops.Info(key)
-			if lr.Loop != nil {
-				lr.Name = lr.Loop.Name()
-			}
-		} else {
-			lr.Name = "(outside loops)"
-		}
-		for off := range la.offsets {
-			lr.Offsets = append(lr.Offsets, off)
-		}
-		sort.Slice(lr.Offsets, func(i, j int) bool { return lr.Offsets[i] < lr.Offsets[j] })
-		for _, off := range lr.Offsets {
-			lr.FieldNames = append(lr.FieldNames, sr.fieldName(off))
-		}
-		sr.Loops = append(sr.Loops, lr)
-	}
-	sort.Slice(sr.Loops, func(i, j int) bool {
-		if sr.Loops[i].LatencySum != sr.Loops[j].LatencySum {
-			return sr.Loops[i].LatencySum > sr.Loops[j].LatencySum
-		}
-		// Ties break on (FnID, LoopID) — the canonical loop order — so
-		// renderings are byte-identical across runs.
-		li, lj := sr.Loops[i].Loop, sr.Loops[j].Loop
-		if li != nil && lj != nil {
-			if li.FnID != lj.FnID {
-				return li.FnID < lj.FnID
-			}
-			return li.LoopID < lj.LoopID
-		}
-		return sr.Loops[i].Name < sr.Loops[j].Name
-	})
-
-	// Stream diagnostics, with each stream's resolved offset.
-	for _, si := range streams {
-		off := UnknownOffset
-		if obj := objByID[si.stat.FirstObjID]; obj != nil {
-			off = stride.Offset(si.stat.FirstEA, obj.Base, size)
-		}
-		sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, off, program, loops))
-	}
-
-	// --- Stage 3: affinities and clustering (Equation 7) -----------------
-	sr.Affinity = ab.Compute()
-	sr.OffsetGroups = sr.Affinity.Cluster(opt.AffinityThreshold)
-	sr.Advice = sr.buildAdvice(debugType)
-	return sr, nil
 }
 
 // fieldName resolves an offset to a field name via debug info; offsets in

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/affinity"
+	"repro/internal/cfg"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/stride"
+)
+
+// This file is the analyzer's incremental accumulation layer. The paper's
+// pipeline looks two-pass — Equation 5 fixes the structure size from
+// stream strides, then Equation 6 folds every sample's address into a
+// field offset mod that size — which would force any online consumer to
+// retain raw samples until the size settles. The accumulator sidesteps
+// that: per-sample state is keyed by the *raw* element offset (EA − object
+// base), which needs no size, and the mod-size fold happens once at
+// report time. Folding aggregated cells is arithmetically identical to
+// folding samples one by one, so the batch Analyze and the streaming
+// analyzer (internal/stream) share this code and produce byte-identical
+// reports from the same event stream.
+
+// CellKey addresses one accumulation cell of an identity: the sampled
+// instruction, its innermost loop, and the raw element offset.
+type CellKey struct {
+	// LoopKey is the innermost loop containing the instruction (0 =
+	// outside all loops) — the aggregation key of the loop table
+	// (Table 6) and of in-loop affinity regions (Equation 7).
+	LoopKey uint64
+	// IP is the sampled instruction; out-of-loop samples get a
+	// per-instruction pseudo-region keyed by it.
+	IP uint64
+	// RawOff is EA − object base: the element offset before Equation 6's
+	// mod-size fold.
+	RawOff uint64
+}
+
+// CellStat is the per-cell tally.
+type CellStat struct {
+	Latency uint64
+	Samples uint64
+	Writes  uint64
+}
+
+// IdentityAccum is the order-insensitive per-sample state of one logical
+// data structure. Accumulators merge by summation, so per-thread (or
+// per-session) instances combine into the program-wide view in any order.
+type IdentityAccum struct {
+	Identity uint64
+	Latency  uint64
+	Samples  uint64
+	// Objects is the set of concrete data objects aggregated under this
+	// identity (per-process object IDs).
+	Objects map[int32]bool
+	// AnyObj carries identity-level display metadata (name, allocation
+	// IP, debug type). The lowest-ID object is kept so the choice is
+	// deterministic regardless of sample or merge order.
+	AnyObj profile.ObjInfo
+	HasObj bool
+	Cells  map[CellKey]*CellStat
+	Levels map[uint8]uint64
+}
+
+// NewIdentityAccum returns an empty accumulator for one identity.
+func NewIdentityAccum(identity uint64) *IdentityAccum {
+	return &IdentityAccum{
+		Identity: identity,
+		Objects:  make(map[int32]bool),
+		Cells:    make(map[CellKey]*CellStat),
+		Levels:   make(map[uint8]uint64),
+	}
+}
+
+// AddSample folds one attributed sample (obj must be the sample's resolved
+// object) into the accumulator. loops may be nil (streaming without the
+// binary): all samples then land in the outside-loops pseudo-region,
+// which is fine for the ranking and stride views that work without it.
+func (a *IdentityAccum) AddSample(s *profile.Sample, obj *profile.ObjInfo, loops *cfg.ProgramLoops) {
+	a.Latency += uint64(s.Latency)
+	a.Samples++
+	a.Objects[s.ObjID] = true
+	if !a.HasObj || obj.ID < a.AnyObj.ID {
+		a.AnyObj = *obj
+		a.HasObj = true
+	}
+	var loopKey uint64
+	if loops != nil {
+		if li := loops.LoopOfIP(s.IP); li != nil {
+			loopKey = li.Key
+		}
+	}
+	ck := CellKey{LoopKey: loopKey, IP: s.IP, RawOff: s.EA - obj.Base}
+	cs := a.Cells[ck]
+	if cs == nil {
+		cs = &CellStat{}
+		a.Cells[ck] = cs
+	}
+	cs.Latency += uint64(s.Latency)
+	cs.Samples++
+	if s.Write {
+		cs.Writes++
+	}
+	a.Levels[s.Level]++
+}
+
+// Merge folds b into a. Both sides must describe the same identity within
+// one process (shared object-ID space).
+func (a *IdentityAccum) Merge(b *IdentityAccum) {
+	a.Latency += b.Latency
+	a.Samples += b.Samples
+	for id := range b.Objects {
+		a.Objects[id] = true
+	}
+	if b.HasObj && (!a.HasObj || b.AnyObj.ID < a.AnyObj.ID) {
+		a.AnyObj = b.AnyObj
+		a.HasObj = true
+	}
+	for ck, cs := range b.Cells {
+		dst := a.Cells[ck]
+		if dst == nil {
+			cp := *cs
+			a.Cells[ck] = &cp
+			continue
+		}
+		dst.Latency += cs.Latency
+		dst.Samples += cs.Samples
+		dst.Writes += cs.Writes
+	}
+	for lvl, n := range b.Levels {
+		a.Levels[lvl] += n
+	}
+}
+
+// Clone deep-copies the accumulator.
+func (a *IdentityAccum) Clone() *IdentityAccum {
+	cp := NewIdentityAccum(a.Identity)
+	cp.Merge(a)
+	return cp
+}
+
+// AccumulateProfile builds per-identity accumulators from a merged
+// profile in one pass over its samples.
+func AccumulateProfile(p *profile.Profile, loops *cfg.ProgramLoops) map[uint64]*IdentityAccum {
+	objByID := make(map[int32]*profile.ObjInfo, len(p.Objects))
+	for i := range p.Objects {
+		objByID[p.Objects[i].ID] = &p.Objects[i]
+	}
+	accums := make(map[uint64]*IdentityAccum)
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if s.ObjID < 0 {
+			continue
+		}
+		obj := objByID[s.ObjID]
+		if obj == nil {
+			continue
+		}
+		acc := accums[obj.Identity]
+		if acc == nil {
+			acc = NewIdentityAccum(obj.Identity)
+			accums[obj.Identity] = acc
+		}
+		acc.AddSample(s, obj, loops)
+	}
+	return accums
+}
+
+// IdentityDisplayName renders a structure identity's human name the way
+// the report does: the symbol name for statics, the allocation site for
+// heap identities. Exported for the streaming analyzer's live view.
+func IdentityDisplayName(obj *profile.ObjInfo, program *prog.Program) string {
+	if program == nil {
+		if obj == nil {
+			return "?"
+		}
+		return obj.Name
+	}
+	return displayName(obj, program)
+}
+
+// ReportMeta is the whole-run header of a report.
+type ReportMeta struct {
+	Program      string
+	TotalLatency uint64
+	NumSamples   uint64
+	Threads      int
+	OverheadPct  float64
+}
+
+// BuildReport assembles the full analysis from accumulated state: the
+// hot-data ranking (Equation 1) over the accumulators, and for each
+// significant structure the size recovery, field/loop tables, affinities,
+// and splitting advice. objOf resolves object IDs for stream-offset
+// diagnostics (profile.Profile.ObjByID for the batch path). Both the
+// batch Analyze and the streaming analyzer end here, which is what makes
+// their outputs byte-identical.
+func BuildReport(
+	meta ReportMeta,
+	accums map[uint64]*IdentityAccum,
+	streams map[profile.StreamKey]*profile.StreamStat,
+	objOf func(int32) *profile.ObjInfo,
+	program *prog.Program,
+	loops *cfg.ProgramLoops,
+	opt Options,
+) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{
+		Program:      meta.Program,
+		TotalLatency: meta.TotalLatency,
+		NumSamples:   meta.NumSamples,
+		Threads:      meta.Threads,
+		OverheadPct:  meta.OverheadPct,
+		Loops:        loops,
+	}
+
+	ranked := make([]*IdentityAccum, 0, len(accums))
+	for _, acc := range accums {
+		ranked = append(ranked, acc)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Latency != ranked[j].Latency {
+			return ranked[i].Latency > ranked[j].Latency
+		}
+		return ranked[i].Identity < ranked[j].Identity
+	})
+
+	for rank, acc := range ranked {
+		ld := 0.0
+		if meta.TotalLatency > 0 {
+			ld = float64(acc.Latency) / float64(meta.TotalLatency)
+		}
+		analyzed := (rank < opt.TopK && ld >= opt.MinLd) || opt.KeepAllGroups
+		rep.Ranking = append(rep.Ranking, RankEntry{
+			Identity:   acc.Identity,
+			Name:       displayName(&acc.AnyObj, program),
+			Ld:         ld,
+			LatencySum: acc.Latency,
+			NumSamples: acc.Samples,
+			Analyzed:   analyzed,
+		})
+		if !analyzed {
+			continue
+		}
+		rep.Structures = append(rep.Structures, finalizeStruct(acc, ld, streams, objOf, program, loops, opt))
+	}
+	return rep, nil
+}
+
+// finalizeStruct runs stages 2 and 3 for one structure from its
+// accumulator and the merged stream statistics.
+func finalizeStruct(
+	acc *IdentityAccum,
+	ld float64,
+	allStreams map[profile.StreamKey]*profile.StreamStat,
+	objOf func(int32) *profile.ObjInfo,
+	program *prog.Program,
+	loops *cfg.ProgramLoops,
+	opt Options,
+) *StructReport {
+	sr := &StructReport{
+		Identity:     acc.Identity,
+		Name:         displayName(&acc.AnyObj, program),
+		Ld:           ld,
+		LatencySum:   acc.Latency,
+		NumSamples:   acc.Samples,
+		NumObjects:   len(acc.Objects),
+		LevelSamples: make(map[uint8]uint64),
+	}
+
+	// Debug info (used for validation and naming only).
+	var debugType *prog.StructType
+	if acc.AnyObj.TypeID >= 0 && int(acc.AnyObj.TypeID) < len(program.Types) {
+		debugType = program.Types[acc.AnyObj.TypeID]
+		sr.TypeName = debugType.Name
+		sr.TrueSize = debugType.Size
+		sr.debugFields = debugType.Fields
+	}
+
+	// --- Stage 2a: streams and strides (Equations 2–3, 5) ---------------
+	type streamInfo struct {
+		key   profile.StreamKey
+		stat  *profile.StreamStat
+		voted bool
+	}
+	var streams []streamInfo
+	var sizeVotes []uint64
+	for key, stat := range allStreams {
+		if key.Identity != acc.Identity {
+			continue
+		}
+		si := streamInfo{key: key, stat: stat}
+		if stat.Count >= opt.MinStreamSamples && stat.GCD >= stride.MinMeaningfulStride {
+			si.voted = true
+			sizeVotes = append(sizeVotes, stat.GCD)
+		}
+		streams = append(streams, si)
+	}
+	sort.Slice(streams, func(i, j int) bool {
+		if streams[i].key.IP != streams[j].key.IP {
+			return streams[i].key.IP < streams[j].key.IP
+		}
+		return streams[i].key.Ctx < streams[j].key.Ctx
+	})
+	sr.InferredSize = stride.StructSize(sizeVotes)
+
+	size := sr.InferredSize
+	if size == 0 {
+		// No regular stream pinned the size: the structure is accessed
+		// irregularly everywhere; report streams but no field analysis.
+		for _, si := range streams {
+			sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, UnknownOffset, program, loops))
+		}
+		return sr
+	}
+	for lvl, n := range acc.Levels {
+		sr.LevelSamples[lvl] = n
+	}
+
+	// --- Stage 2b: fold cells mod size — offsets, field and loop tables -
+	fieldLat := make(map[uint64]uint64)
+	fieldSamples := make(map[uint64]uint64)
+	fieldWrites := make(map[uint64]uint64)
+	type loopAgg struct {
+		lat     uint64
+		offsets map[uint64]bool
+	}
+	loopTab := make(map[uint64]*loopAgg) // loop key (0 = outside)
+	ab := affinity.NewBuilder()
+
+	for ck, cs := range acc.Cells {
+		off := ck.RawOff % size // Equation 6
+		fieldLat[off] += cs.Latency
+		fieldSamples[off] += cs.Samples
+		fieldWrites[off] += cs.Writes
+
+		la := loopTab[ck.LoopKey]
+		if la == nil {
+			la = &loopAgg{offsets: make(map[uint64]bool)}
+			loopTab[ck.LoopKey] = la
+		}
+		la.lat += cs.Latency
+		la.offsets[off] = true
+
+		// Affinity (Equation 7) counts co-occurrence within loops.
+		// Accesses outside any loop get a per-instruction pseudo-region
+		// so unrelated straight-line code does not fake co-occurrence.
+		affKey := ck.LoopKey
+		if affKey == 0 {
+			affKey = ck.IP | 1<<63
+		}
+		weight := cs.Latency
+		if opt.WeightByCount {
+			weight = cs.Samples
+		}
+		ab.Add(affKey, off, weight)
+	}
+
+	// Field table (Table 5).
+	offsets := make([]uint64, 0, len(fieldLat))
+	for off := range fieldLat {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	for _, off := range offsets {
+		fr := FieldReport{
+			Offset:     off,
+			Name:       sr.fieldName(off),
+			LatencySum: fieldLat[off],
+			Samples:    fieldSamples[off],
+			Writes:     fieldWrites[off],
+		}
+		if acc.Latency > 0 {
+			fr.Share = float64(fr.LatencySum) / float64(acc.Latency)
+		}
+		sr.Fields = append(sr.Fields, fr)
+	}
+
+	// Loop table (Table 6).
+	for key, la := range loopTab {
+		lr := LoopReport{LatencySum: la.lat}
+		if acc.Latency > 0 {
+			lr.Share = float64(la.lat) / float64(acc.Latency)
+		}
+		if key != 0 {
+			lr.Loop = loops.Info(key)
+			if lr.Loop != nil {
+				lr.Name = lr.Loop.Name()
+			}
+		} else {
+			lr.Name = "(outside loops)"
+		}
+		for off := range la.offsets {
+			lr.Offsets = append(lr.Offsets, off)
+		}
+		sort.Slice(lr.Offsets, func(i, j int) bool { return lr.Offsets[i] < lr.Offsets[j] })
+		for _, off := range lr.Offsets {
+			lr.FieldNames = append(lr.FieldNames, sr.fieldName(off))
+		}
+		sr.Loops = append(sr.Loops, lr)
+	}
+	sort.Slice(sr.Loops, func(i, j int) bool {
+		if sr.Loops[i].LatencySum != sr.Loops[j].LatencySum {
+			return sr.Loops[i].LatencySum > sr.Loops[j].LatencySum
+		}
+		// Ties break on (FnID, LoopID) — the canonical loop order — so
+		// renderings are byte-identical across runs.
+		li, lj := sr.Loops[i].Loop, sr.Loops[j].Loop
+		if li != nil && lj != nil {
+			if li.FnID != lj.FnID {
+				return li.FnID < lj.FnID
+			}
+			return li.LoopID < lj.LoopID
+		}
+		return sr.Loops[i].Name < sr.Loops[j].Name
+	})
+
+	// Stream diagnostics, with each stream's resolved offset.
+	for _, si := range streams {
+		off := UnknownOffset
+		if obj := objOf(si.stat.FirstObjID); obj != nil {
+			off = stride.Offset(si.stat.FirstEA, obj.Base, size)
+		}
+		sr.Streams = append(sr.Streams, streamReport(si.key.IP, si.stat, si.voted, off, program, loops))
+	}
+
+	// --- Stage 3: affinities and clustering (Equation 7) -----------------
+	sr.Affinity = ab.Compute()
+	sr.OffsetGroups = sr.Affinity.Cluster(opt.AffinityThreshold)
+	sr.Advice = sr.buildAdvice(debugType)
+	return sr
+}

@@ -246,6 +246,13 @@ func mergeStream(dst, src *StreamStat) {
 	dst.GCD = gcd64(dst.GCD, src.GCD)
 }
 
+// MergeFrom folds src into s with the cross-thread merge semantics of
+// MergeThreadProfiles: counts, writes, and latencies sum; strides combine
+// by GCD; s keeps its own FirstEA/FirstObjID anchor and LastEA. Exported
+// so the streaming analyzer can merge per-session stream state exactly
+// the way the reduction tree does.
+func (s *StreamStat) MergeFrom(src *StreamStat) { mergeStream(s, src) }
+
 // ObjByID returns the object snapshot with the given id, or nil.
 func (p *Profile) ObjByID(id int32) *ObjInfo {
 	i := sort.Search(len(p.Objects), func(i int) bool { return p.Objects[i].ID >= id })

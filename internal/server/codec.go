@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Wire formats for sample-batch ingest. Both carry a sequence of
+// stream.Batch values:
+//
+//   - gob (ContentTypeGob): a single gob-encoded []stream.Batch — the
+//     compact binary format `structslim push` uses;
+//   - NDJSON (ContentTypeNDJSON): one JSON-encoded batch per line — the
+//     debuggable format for hand-rolled clients (curl, scripts).
+//
+// Both codecs are canonical: decoding and re-encoding an encoded value
+// reproduces it byte-identically (gob emits type info deterministically
+// for a fixed type; JSON re-marshals struct fields in declaration
+// order), which the fuzz test pins down.
+
+// Content types accepted by POST /v1/samples.
+const (
+	ContentTypeGob    = "application/x-structslim-gob"
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// DecodeBatches reads all batches of one request body in the given
+// content type.
+func DecodeBatches(r io.Reader, contentType string) ([]stream.Batch, error) {
+	switch normalizeContentType(contentType) {
+	case ContentTypeGob:
+		var bs []stream.Batch
+		if err := gob.NewDecoder(r).Decode(&bs); err != nil {
+			return nil, fmt.Errorf("gob: %w", err)
+		}
+		return bs, nil
+	case ContentTypeNDJSON:
+		var bs []stream.Batch
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var b stream.Batch
+			if err := json.Unmarshal([]byte(line), &b); err != nil {
+				return nil, fmt.Errorf("ndjson line %d: %w", len(bs)+1, err)
+			}
+			bs = append(bs, b)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ndjson: %w", err)
+		}
+		return bs, nil
+	default:
+		return nil, fmt.Errorf("unsupported content type %q (want %s or %s)",
+			contentType, ContentTypeGob, ContentTypeNDJSON)
+	}
+}
+
+// EncodeBatches writes batches in the given content type.
+func EncodeBatches(w io.Writer, contentType string, bs []stream.Batch) error {
+	switch normalizeContentType(contentType) {
+	case ContentTypeGob:
+		return gob.NewEncoder(w).Encode(bs)
+	case ContentTypeNDJSON:
+		bw := bufio.NewWriter(w)
+		for i := range bs {
+			data, err := json.Marshal(&bs[i])
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(data); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	default:
+		return fmt.Errorf("unsupported content type %q", contentType)
+	}
+}
+
+// normalizeContentType strips parameters ("; charset=...") and spaces.
+func normalizeContentType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(ct))
+}

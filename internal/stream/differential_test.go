@@ -1,0 +1,240 @@
+package stream_test
+
+// Differential tests of the online analyzer: fed the complete event
+// stream of a profiled run — in any batching, across per-thread sessions
+// — the streaming analyzer must reproduce the batch pipeline exactly.
+// Snapshot must be deep-equal to the batch merged profile, and both
+// Report() (built from the online accumulators alone) and
+// Analyze(Snapshot()) must render byte-identically to the batch
+// analyzer's report. This is the acceptance gate for the whole streaming
+// subsystem: moving the analysis online may not change a single byte of
+// advice.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/stream"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+var diffOpt = structslim.Options{SamplePeriod: 3000, Seed: 7}
+
+// feed replays the run's per-thread sample streams into the analyzer as
+// one session per thread, split into batches of batchSize samples. The
+// full object table rides on each session's first batch; the cycle
+// accounts ride on the last.
+func feed(t *testing.T, a *stream.Analyzer, res *structslim.RunResult, process string, batchSize int) {
+	t.Helper()
+	for _, tp := range res.ThreadProfiles {
+		n := len(tp.Samples)
+		var seq uint64
+		for start := 0; start < n || start == 0; start += batchSize {
+			end := start + batchSize
+			if end > n {
+				end = n
+			}
+			b := stream.Batch{
+				Session: fmt.Sprintf("%s-t%03d", process, tp.TID),
+				Process: process,
+				TID:     int32(tp.TID),
+				Period:  tp.Period,
+				Seq:     seq,
+				Samples: tp.Samples[start:end],
+			}
+			if start == 0 {
+				b.Objects = tp.Objects
+			}
+			if end == n {
+				b.AppCycles = tp.AppCycles
+				b.OverheadCycles = tp.OverheadCycles
+				b.MemOps = tp.MemOps
+			}
+			if err := a.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+			if end == n {
+				break
+			}
+		}
+	}
+}
+
+func renderBytes(t *testing.T, rep *core.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rep.RenderText(&buf)
+	return buf.Bytes()
+}
+
+// TestStreamingMatchesBatch is the core differential: for every paper
+// workload and several batch sizes, the streaming analyzer's snapshot,
+// online report, and snapshot-analyzed report must all match the batch
+// pipeline.
+func TestStreamingMatchesBatch(t *testing.T) {
+	for _, name := range workloads.PaperOrder {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := structslim.ProfileRun(p, phases, diffOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchRep, err := core.Analyze(res.Profile, p, diffOpt.Analysis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderBytes(t, batchRep)
+
+			sizes := []int{17, 512}
+			if name == "art" {
+				sizes = append(sizes, 1)
+			}
+			for _, bs := range sizes {
+				t.Run(fmt.Sprintf("batch%d", bs), func(t *testing.T) {
+					a, err := stream.New(p, stream.Config{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					feed(t, a, res, "p0", bs)
+
+					snap, err := a.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(snap, res.Profile) {
+						t.Error("snapshot differs from batch merged profile")
+					}
+
+					onlineRep, err := a.Report()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := renderBytes(t, onlineRep); !bytes.Equal(got, want) {
+						t.Errorf("online report differs from batch report\n--- online ---\n%s\n--- batch ---\n%s", got, want)
+					}
+
+					snapRep, err := core.Analyze(snap, p, diffOpt.Analysis)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := renderBytes(t, snapRep); !bytes.Equal(got, want) {
+						t.Error("snapshot-analyzed report differs from batch report")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStreamingReportWithoutSamples checks the headline property: with
+// raw-sample retention disabled the online report is still byte-identical
+// — the analyzer needs only its bounded per-stream/per-identity state.
+func TestStreamingReportWithoutSamples(t *testing.T) {
+	for _, name := range []string{"art", "clomp"} {
+		t.Run(name, func(t *testing.T) {
+			w, _ := workloads.Get(name)
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := structslim.ProfileRun(p, phases, diffOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchRep, err := core.Analyze(res.Profile, p, diffOpt.Analysis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderBytes(t, batchRep)
+
+			a, err := stream.New(p, stream.Config{DropSamples: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(t, a, res, "p0", 64)
+			if _, err := a.Snapshot(); err == nil {
+				t.Error("snapshot should be unavailable with DropSamples")
+			}
+			rep, err := a.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := renderBytes(t, rep); !bytes.Equal(got, want) {
+				t.Error("sample-free online report differs from batch report")
+			}
+		})
+	}
+}
+
+// TestStreamingMultiProcess merges sessions of two separate runs
+// (processes) and checks against the batch cross-process merge.
+func TestStreamingMultiProcess(t *testing.T) {
+	w, err := workloads.Get("clomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(seed uint64) *structslim.RunResult {
+		opt := diffOpt
+		opt.Seed = seed
+		p, phases, err := w.Build(nil, workloads.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := structslim.ProfileRun(p, phases, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res0 := runOnce(7)
+	res1 := runOnce(11)
+
+	merged, err := profile.MergeProcessProfiles([]*profile.Profile{res0.Profile, res1.Profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRep, err := core.Analyze(merged, p, diffOpt.Analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderBytes(t, batchRep)
+
+	a, err := stream.New(p, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, res0, "proc0", 33)
+	feed(t, a, res1, "proc1", 47)
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, merged) {
+		t.Error("multi-process snapshot differs from MergeProcessProfiles")
+	}
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderBytes(t, rep); !bytes.Equal(got, want) {
+		t.Error("multi-process report differs from batch report")
+	}
+}

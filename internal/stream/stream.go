@@ -1,0 +1,584 @@
+// Package stream is StructSlim's online analyzer: it consumes address-
+// sample batches from any number of concurrent sessions (one session per
+// profiled thread, optionally grouped into processes) and maintains the
+// paper's per-stream state incrementally — last effective address, the
+// running GCD of address deltas (Equations 2–3), and the sample count k
+// that drives the Equation 4 accuracy bound — plus per-identity
+// accumulators (core.IdentityAccum) for the hot-data ranking, field and
+// loop tables, and latency-weighted affinities (Equations 1, 6, 7).
+//
+// Because every per-sample quantity is accumulated either per stream
+// (order-sensitive only within a session, exactly like the per-thread
+// profiler) or in order-insensitive cells keyed by raw element offset,
+// the analyzer can serve three views at any moment:
+//
+//   - Report: a full core.Report built by merging per-session state and
+//     finishing through core.BuildReport — byte-identical to the batch
+//     analyzer given the same complete event stream, with no need to
+//     retain raw samples;
+//   - Snapshot: a materialized profile.Profile, produced by lifting each
+//     session to a thread profile and reusing the reduction-tree merge
+//     (profile.MergeTree) and, across processes,
+//     profile.MergeProcessProfiles;
+//   - Live: a cheap online summary (l_d ranking, inferred sizes, per-
+//     stream strides with the Equation 4 confidence) computed without
+//     touching the per-sample cells.
+//
+// Memory is bounded per session by LRU eviction of cold streams and cold
+// identities; eviction makes the analysis approximate (evicted state
+// restarts from scratch if its key recurs) and is reported via counters.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+// Batch is one ingest message: a slice of a session's sample stream, in
+// the session's observation order. Objects must be registered no later
+// than the first batch whose samples reference them (samples with an
+// unregistered ObjID are treated as unattributed). The final batch of a
+// session may carry the run's cycle accounts.
+type Batch struct {
+	// Session identifies the stream; one session per profiled thread.
+	Session string
+	// Process groups sessions that share one object table. Sessions of
+	// different processes merge by data-centric identity (the paper's
+	// Section 4.4), like profile.MergeProcessProfiles.
+	Process string
+	// TID is the thread ID the session's samples carry.
+	TID int32
+	// Period is the sampling period; all sessions of an analyzer must
+	// agree (mirroring the profile-merge contract).
+	Period uint64
+	// Seq numbers the session's batches for lag diagnostics.
+	Seq uint64
+	// Objects snapshots (part of) the session's data-object table.
+	Objects []profile.ObjInfo
+	// Samples are the address samples, oldest first.
+	Samples []profile.Sample
+	// AppCycles/OverheadCycles/MemOps are the session's final cycle
+	// accounts; nonzero values overwrite the session's current ones.
+	AppCycles      uint64
+	OverheadCycles uint64
+	MemOps         uint64
+}
+
+// Config tunes the analyzer. The zero value retains samples and never
+// evicts.
+type Config struct {
+	// MaxStreams bounds the live streams per session; 0 = unbounded.
+	// Beyond the bound the least-recently-updated stream is evicted.
+	MaxStreams int
+	// MaxIdentities bounds the tracked identities per session; 0 =
+	// unbounded. Beyond the bound the least-recently-touched identity's
+	// accumulator is evicted.
+	MaxIdentities int
+	// DropSamples disables raw-sample retention. Report and Live keep
+	// working (they need only the online state); Snapshot becomes
+	// unavailable.
+	DropSamples bool
+	// MergeWorkers bounds snapshot merge parallelism.
+	MergeWorkers int
+	// Analysis tunes report building.
+	Analysis core.Options
+}
+
+// Analyzer is the concurrent online analyzer. Sessions ingest under their
+// own locks, so distinct sessions do not contend.
+type Analyzer struct {
+	conf    Config
+	program *prog.Program
+	loops   *cfg.ProgramLoops
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	period   uint64
+}
+
+// New creates an analyzer for samples of the given program. The program
+// may be nil: ingestion, Live, and Snapshot still work, but Report (which
+// needs loop recovery and debug info) returns an error.
+func New(program *prog.Program, conf Config) (*Analyzer, error) {
+	a := &Analyzer{conf: conf, program: program, sessions: make(map[string]*session)}
+	if program != nil {
+		loops, err := cfg.AnalyzeLoops(program)
+		if err != nil {
+			return nil, err
+		}
+		a.loops = loops
+	}
+	return a, nil
+}
+
+// streamEntry is one live stream with its LRU links.
+type streamEntry struct {
+	key        profile.StreamKey
+	stat       profile.StreamStat
+	prev, next *streamEntry
+}
+
+type session struct {
+	// id, process, tid, and period are fixed at session creation and read
+	// without the lock.
+	id      string
+	process string
+	tid     int32
+	period  uint64
+
+	mu      sync.Mutex
+	samples []profile.Sample
+
+	streams    map[profile.StreamKey]*streamEntry
+	lruHead    *streamEntry // most recently updated
+	lruTail    *streamEntry // eviction candidate
+	lastKey    profile.StreamKey
+	lastEnt    *streamEntry
+	accums     map[uint64]*core.IdentityAccum
+	identTouch map[uint64]uint64
+	clock      uint64
+
+	objects []profile.ObjInfo
+	objByID map[int32]*profile.ObjInfo
+
+	numSamples     uint64
+	totalLatency   uint64
+	appCycles      uint64
+	overheadCycles uint64
+	memOps         uint64
+	lastCycle      uint64
+	batches        uint64
+	lastSeq        uint64
+
+	evictedStreams    uint64
+	evictedIdentities uint64
+}
+
+// Ingest folds one batch into the analyzer. Batches of one session must
+// arrive in stream order; batches of different sessions may arrive
+// concurrently.
+func (a *Analyzer) Ingest(b Batch) error {
+	if b.Session == "" {
+		return fmt.Errorf("stream: batch without session id")
+	}
+	if b.Period == 0 {
+		return fmt.Errorf("stream: batch without sampling period")
+	}
+	s, err := a.getSession(&b)
+	if err != nil {
+		return err
+	}
+
+	if s.period != b.Period {
+		return fmt.Errorf("stream: session %s: period %d differs from %d", s.id, b.Period, s.period)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range b.Objects {
+		oi := b.Objects[i]
+		if _, ok := s.objByID[oi.ID]; !ok {
+			s.objects = append(s.objects, oi)
+			cp := oi
+			s.objByID[oi.ID] = &cp
+		}
+	}
+	for i := range b.Samples {
+		a.addSample(s, &b.Samples[i])
+	}
+	if b.AppCycles != 0 {
+		s.appCycles = b.AppCycles
+	}
+	if b.OverheadCycles != 0 {
+		s.overheadCycles = b.OverheadCycles
+	}
+	if b.MemOps != 0 {
+		s.memOps = b.MemOps
+	}
+	s.batches++
+	s.lastSeq = b.Seq
+	return nil
+}
+
+func (a *Analyzer) getSession(b *Batch) (*session, error) {
+	a.mu.RLock()
+	s := a.sessions[b.Session]
+	a.mu.RUnlock()
+	if s != nil {
+		return s, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.period == 0 {
+		a.period = b.Period
+	} else if a.period != b.Period {
+		return nil, fmt.Errorf("stream: period %d differs from %d", b.Period, a.period)
+	}
+	if s = a.sessions[b.Session]; s != nil {
+		return s, nil
+	}
+	s = &session{
+		id:         b.Session,
+		process:    b.Process,
+		tid:        b.TID,
+		period:     b.Period,
+		streams:    make(map[profile.StreamKey]*streamEntry),
+		accums:     make(map[uint64]*core.IdentityAccum),
+		identTouch: make(map[uint64]uint64),
+		objByID:    make(map[int32]*profile.ObjInfo),
+	}
+	a.sessions[b.Session] = s
+	return s, nil
+}
+
+// addSample is the per-sample hot path, called with s.mu held. It mirrors
+// profile.ThreadProfile.Add exactly (same stream keying, same Observe
+// updates) so a session's stream state is indistinguishable from the
+// per-thread profiler's.
+func (a *Analyzer) addSample(s *session, sm *profile.Sample) {
+	if !a.conf.DropSamples {
+		s.samples = append(s.samples, *sm)
+	}
+	s.numSamples++
+	s.totalLatency += uint64(sm.Latency)
+	if sm.Cycle > s.lastCycle {
+		s.lastCycle = sm.Cycle
+	}
+
+	var identity uint64
+	var obj *profile.ObjInfo
+	if sm.ObjID >= 0 {
+		if o := s.objByID[sm.ObjID]; o != nil {
+			obj = o
+			identity = o.Identity
+		}
+	}
+
+	key := profile.StreamKey{IP: sm.IP, Ctx: sm.Ctx, Identity: identity}
+	ent := s.lastEnt
+	if ent == nil || key != s.lastKey {
+		ent = s.streams[key]
+		if ent == nil {
+			ent = &streamEntry{key: key, stat: profile.StreamStat{IP: sm.IP, Identity: identity}}
+			s.streams[key] = ent
+			if a.conf.MaxStreams > 0 && len(s.streams) > a.conf.MaxStreams {
+				s.evictColdestStream(ent)
+			}
+		}
+		s.lastKey, s.lastEnt = key, ent
+	}
+	s.lruTouch(ent)
+	ent.stat.Observe(sm.EA, sm.Latency, sm.Write, sm.ObjID)
+
+	if obj != nil {
+		acc := s.accums[identity]
+		if acc == nil {
+			acc = core.NewIdentityAccum(identity)
+			s.accums[identity] = acc
+			if a.conf.MaxIdentities > 0 && len(s.accums) > a.conf.MaxIdentities {
+				s.evictColdestIdentity(identity)
+			}
+		}
+		s.clock++
+		s.identTouch[identity] = s.clock
+		acc.AddSample(sm, obj, a.loops)
+	}
+}
+
+// lruTouch moves ent to the head of the session's LRU list.
+func (s *session) lruTouch(ent *streamEntry) {
+	if s.lruHead == ent {
+		return
+	}
+	// Unlink.
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	}
+	if s.lruTail == ent {
+		s.lruTail = ent.prev
+	}
+	// Push front.
+	ent.prev = nil
+	ent.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = ent
+	}
+	s.lruHead = ent
+	if s.lruTail == nil {
+		s.lruTail = ent
+	}
+}
+
+// evictColdestStream drops the least-recently-updated stream (never the
+// one just created).
+func (s *session) evictColdestStream(keep *streamEntry) {
+	victim := s.lruTail
+	if victim == nil || victim == keep {
+		return
+	}
+	if victim.prev != nil {
+		victim.prev.next = nil
+	}
+	s.lruTail = victim.prev
+	if s.lruHead == victim {
+		s.lruHead = nil
+	}
+	delete(s.streams, victim.key)
+	if s.lastEnt == victim {
+		s.lastEnt = nil
+	}
+	s.evictedStreams++
+}
+
+// evictColdestIdentity drops the least-recently-touched identity
+// accumulator (never the one just created).
+func (s *session) evictColdestIdentity(keep uint64) {
+	var victim uint64
+	var minTouch uint64
+	found := false
+	for id, touch := range s.identTouch {
+		if id == keep {
+			continue
+		}
+		if !found || touch < minTouch {
+			victim, minTouch, found = id, touch, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(s.accums, victim)
+	delete(s.identTouch, victim)
+	s.evictedIdentities++
+}
+
+// sortedSessions returns the sessions ordered by (process, TID, id) — the
+// canonical merge order, matching the batch profiler's ascending-thread
+// reduction.
+func (a *Analyzer) sortedSessions() []*session {
+	a.mu.RLock()
+	out := make([]*session, 0, len(a.sessions))
+	for _, s := range a.sessions {
+		out = append(out, s)
+	}
+	a.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].process != out[j].process {
+			return out[i].process < out[j].process
+		}
+		if out[i].tid != out[j].tid {
+			return out[i].tid < out[j].tid
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// threadProfile materializes the session as a per-thread profile; caller
+// holds s.mu.
+func (s *session) threadProfile() *profile.ThreadProfile {
+	tp := profile.NewThreadProfile(int(s.tid), s.period)
+	tp.Samples = append([]profile.Sample(nil), s.samples...)
+	for k, e := range s.streams {
+		cp := e.stat
+		tp.Streams[k] = &cp
+	}
+	tp.Objects = append([]profile.ObjInfo(nil), s.objects...)
+	tp.NumSamples = s.numSamples
+	tp.TotalLatency = s.totalLatency
+	tp.AppCycles = s.appCycles
+	tp.OverheadCycles = s.overheadCycles
+	tp.MemOps = s.memOps
+	return tp
+}
+
+// Snapshot materializes the merged whole-program profile from the
+// retained per-session state: each session lifts to a thread profile,
+// sessions of one process fold through the reduction tree
+// (profile.MergeTree), and processes combine by data-centric identity
+// (profile.MergeProcessProfiles). The result is deep-equal to the batch
+// profiler's merged profile given the same complete event stream.
+func (a *Analyzer) Snapshot() (*profile.Profile, error) {
+	if a.conf.DropSamples {
+		return nil, fmt.Errorf("stream: snapshot unavailable: sample retention is disabled")
+	}
+	sessions := a.sortedSessions()
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("stream: no sessions")
+	}
+	var procNames []string
+	byProc := make(map[string][]*profile.Profile)
+	for _, s := range sessions {
+		s.mu.Lock()
+		tp := s.threadProfile()
+		s.mu.Unlock()
+		leaf, err := profile.MergeThreadProfiles([]*profile.ThreadProfile{tp})
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := byProc[s.process]; !ok {
+			procNames = append(procNames, s.process)
+		}
+		byProc[s.process] = append(byProc[s.process], leaf)
+	}
+	perProc := make([]*profile.Profile, 0, len(procNames))
+	for _, proc := range procNames {
+		p, err := profile.MergeTree(byProc[proc], a.conf.MergeWorkers)
+		if err != nil {
+			return nil, err
+		}
+		perProc = append(perProc, p)
+	}
+	if len(perProc) == 1 {
+		return perProc[0], nil
+	}
+	return profile.MergeProcessProfiles(perProc)
+}
+
+// Report builds the full analysis from the online state alone — no raw
+// samples needed. Per-session accumulators merge by summation; per-
+// session stream statistics merge with the reduction tree's semantics
+// (profile.StreamStat.MergeFrom in ascending session order). The result
+// is byte-identical to core.Analyze over the batch profile of the same
+// complete event stream.
+//
+// With sessions from more than one process the online path cannot merge
+// object tables (IDs collide), so Report falls back to analyzing a
+// materialized snapshot, which requires sample retention.
+func (a *Analyzer) Report() (*core.Report, error) {
+	if a.program == nil {
+		return nil, fmt.Errorf("stream: report needs the analyzed program")
+	}
+	sessions := a.sortedSessions()
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("stream: no sessions")
+	}
+	multiProc := false
+	for _, s := range sessions[1:] {
+		if s.process != sessions[0].process {
+			multiProc = true
+			break
+		}
+	}
+	if multiProc {
+		p, err := a.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("stream: multi-process report: %w", err)
+		}
+		return core.Analyze(p, a.program, a.conf.Analysis)
+	}
+
+	accums := make(map[uint64]*core.IdentityAccum)
+	streams := make(map[profile.StreamKey]*profile.StreamStat)
+	objByID := make(map[int32]*profile.ObjInfo)
+	var totalLatency, numSamples, appCycles, overheadCycles uint64
+	for _, s := range sessions {
+		s.mu.Lock()
+		for id, acc := range s.accums {
+			if dst := accums[id]; dst != nil {
+				dst.Merge(acc)
+			} else {
+				accums[id] = acc.Clone()
+			}
+		}
+		for k, e := range s.streams {
+			if dst := streams[k]; dst != nil {
+				dst.MergeFrom(&e.stat)
+			} else {
+				cp := e.stat
+				streams[k] = &cp
+			}
+		}
+		for id, oi := range s.objByID {
+			if _, ok := objByID[id]; !ok {
+				cp := *oi
+				objByID[id] = &cp
+			}
+		}
+		totalLatency += s.totalLatency
+		numSamples += s.numSamples
+		if s.appCycles > appCycles {
+			appCycles = s.appCycles
+		}
+		if s.overheadCycles > overheadCycles {
+			overheadCycles = s.overheadCycles
+		}
+		s.mu.Unlock()
+	}
+	overheadPct := 0.0
+	if appCycles > 0 {
+		overheadPct = 100 * float64(overheadCycles) / float64(appCycles)
+	}
+	meta := core.ReportMeta{
+		Program:      a.program.Name,
+		TotalLatency: totalLatency,
+		NumSamples:   numSamples,
+		Threads:      len(sessions),
+		OverheadPct:  overheadPct,
+	}
+	objOf := func(id int32) *profile.ObjInfo { return objByID[id] }
+	return core.BuildReport(meta, accums, streams, objOf, a.program, a.loops, a.conf.Analysis)
+}
+
+// Program returns the program the analyzer reports against (may be nil).
+func (a *Analyzer) Program() *prog.Program { return a.program }
+
+// AnalysisOptions returns the configured report options.
+func (a *Analyzer) AnalysisOptions() core.Options { return a.conf.Analysis }
+
+// Period returns the sampling period adopted from the first batch (0
+// before any ingest).
+func (a *Analyzer) Period() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.period
+}
+
+// SessionInfo is one session's ingest bookkeeping, for metrics.
+type SessionInfo struct {
+	ID      string
+	Process string
+	TID     int32
+
+	Batches    uint64
+	LastSeq    uint64
+	NumSamples uint64
+	LastCycle  uint64
+
+	Streams           int
+	Identities        int
+	EvictedStreams    uint64
+	EvictedIdentities uint64
+}
+
+// Sessions reports per-session bookkeeping, sorted in canonical order.
+func (a *Analyzer) Sessions() []SessionInfo {
+	sessions := a.sortedSessions()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		s.mu.Lock()
+		out = append(out, SessionInfo{
+			ID:                s.id,
+			Process:           s.process,
+			TID:               s.tid,
+			Batches:           s.batches,
+			LastSeq:           s.lastSeq,
+			NumSamples:        s.numSamples,
+			LastCycle:         s.lastCycle,
+			Streams:           len(s.streams),
+			Identities:        len(s.accums),
+			EvictedStreams:    s.evictedStreams,
+			EvictedIdentities: s.evictedIdentities,
+		})
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package repro_test
+
+// Benchmark of the streaming ingest path: the same replayed sample
+// stream pushed straight into the analyzer ("direct") and through the
+// full HTTP ingest server ("http", gob framing, one request per batch),
+// reporting samples/sec so the wire overhead is visible next to the
+// analyzer's raw throughput.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+// streamBenchBatches profiles the workload once and splits the run into
+// push-protocol batches.
+func streamBenchBatches(b *testing.B, name string, batchSize int) (batches []stream.Batch, samples int) {
+	b.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := structslim.ProfileRun(p, phases, structslim.Options{SamplePeriod: 3000, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tp := range res.ThreadProfiles {
+		n := len(tp.Samples)
+		var seq uint64
+		for start := 0; start < n || start == 0; start += batchSize {
+			end := start + batchSize
+			if end > n {
+				end = n
+			}
+			batch := stream.Batch{
+				Session: fmt.Sprintf("bench-t%03d", tp.TID),
+				Process: "bench",
+				TID:     int32(tp.TID),
+				Period:  tp.Period,
+				Seq:     seq,
+				Samples: tp.Samples[start:end],
+			}
+			if start == 0 {
+				batch.Objects = tp.Objects
+			}
+			batches = append(batches, batch)
+			samples += end - start
+			seq++
+			if end == n {
+				break
+			}
+		}
+	}
+	return batches, samples
+}
+
+func BenchmarkStreamIngest(b *testing.B) {
+	batches, samples := streamBenchBatches(b, "quickstart", 256)
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			an, err := stream.New(nil, stream.Config{DropSamples: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range batches {
+				if err := an.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(samples*b.N)/elapsed, "samples/sec")
+		}
+	})
+
+	b.Run("http", func(b *testing.B) {
+		// Pre-frame each batch so the loop measures transport + decode +
+		// ingest, not client-side encoding.
+		payloads := make([][]byte, len(batches))
+		for i := range batches {
+			var buf bytes.Buffer
+			if err := server.EncodeBatches(&buf, server.ContentTypeGob, batches[i:i+1]); err != nil {
+				b.Fatal(err)
+			}
+			payloads[i] = buf.Bytes()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			an, err := stream.New(nil, stream.Config{DropSamples: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(an, server.Config{QueueDepth: len(batches) + 1})
+			ts := httptest.NewServer(srv.Handler())
+			for _, payload := range payloads {
+				resp, err := http.Post(ts.URL+"/v1/samples", server.ContentTypeGob, bytes.NewReader(payload))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					b.Fatalf("POST: %d", resp.StatusCode)
+				}
+			}
+			srv.Drain()
+			ts.Close()
+		}
+		elapsed := time.Since(start).Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(samples*b.N)/elapsed, "samples/sec")
+		}
+	})
+}
