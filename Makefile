@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke
+.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke reuse-check bench-analytic analytic-gate
 
 all: build lint test
 
@@ -27,6 +27,34 @@ fmt:
 # fuzz: a short smoke run of the symbolic-resolver fuzzer.
 fuzz:
 	$(GO) test ./internal/staticlint/ -fuzz FuzzResolver -fuzztime 30s
+
+# reuse-check: the static reuse-prediction acceptance suite — the
+# 7-workload static-vs-dynamic differential (per-nest histograms,
+# FromTrace replay, capacity-miss ratios, whole-run bracket) under the
+# race detector, the analytic reference-twin advice check, and a short
+# run of the reuse-predictor fuzzer (no-panic + mass conservation).
+reuse-check:
+	$(GO) test -race -run 'TestReuseDifferentialWorkloads|TestAnalyticTwinAdvice' .
+	$(GO) test ./internal/staticlint/ -run '^$$' -fuzz FuzzReusePredictor -fuzztime 30s
+
+# bench-analytic: measure the analytic phase synthesis against full
+# simulation on the exact-tier workloads and record BENCH_6.json.
+ANALYTIC_METRICS ?= analytic-metrics.txt
+ANALYTIC_JSON ?= BENCH_6.json
+bench-analytic:
+	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkAnalyticSweep' \
+		. | tee $(ANALYTIC_METRICS)
+	$(GO) run ./cmd/benchjson -in $(ANALYTIC_METRICS) -out $(ANALYTIC_JSON)
+
+# analytic-gate: the analytic sweep must stay at least 2x faster than
+# full simulation. The baseline records the measured speedup; the gate
+# tolerates a drift back toward (but not past) the 2x floor.
+analytic-gate:
+	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkAnalyticSweep' . \
+		| tee /tmp/analytic-gate.txt
+	$(GO) run ./cmd/benchjson -gate -in /tmp/analytic-gate.txt -baseline $(ANALYTIC_JSON) \
+		-bench BenchmarkAnalyticSweep -metric speedup \
+		-higher-is-better -max-regress 20
 
 # stream-smoke: the streaming-service acceptance smoke — start the
 # ingest server, push the quickstart workload's sample stream over HTTP,

@@ -1,0 +1,61 @@
+package repro_test
+
+// BenchmarkAnalyticSweep quantifies what the analytic phase synthesis
+// buys: the same profiled runs (the exact-tier paper workloads) once
+// through the full VM + cache simulation and once synthesized from the
+// static plan. The reported "speedup" metric is the acceptance gate for
+// the feature (>= 2x); advice equality is proven separately by
+// TestAnalyticTwinAdvice.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func BenchmarkAnalyticSweep(b *testing.B) {
+	names := []string{"art", "libquantum"}
+	opt := structslim.Options{SamplePeriod: 3000, Seed: 7}
+	anaOpt := opt
+	anaOpt.Analysis.AnalyticPhases = true
+
+	var simNs, anaNs time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			w, err := workloads.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, phases, err := w.Build(nil, benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Now()
+			if _, err := structslim.ProfileRun(p, phases, opt); err != nil {
+				b.Fatal(err)
+			}
+			simNs += time.Since(t0)
+
+			p2, phases2, err := w.Build(nil, benchScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			res, err := structslim.ProfileRun(p2, phases2, anaOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			anaNs += time.Since(t1)
+			if res.Stats.Cache.PrefetchIssued != 0 {
+				b.Fatalf("%s did not take the analytic path", name)
+			}
+		}
+	}
+	if anaNs > 0 {
+		b.ReportMetric(float64(simNs)/float64(anaNs), "speedup")
+	}
+	b.ReportMetric(float64(simNs.Nanoseconds())/float64(b.N), "sim-ns/sweep")
+	b.ReportMetric(float64(anaNs.Nanoseconds())/float64(b.N), "analytic-ns/sweep")
+}

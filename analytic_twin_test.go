@@ -1,0 +1,101 @@
+package repro_test
+
+// Reference-twin differential for the analytic phase synthesis: profiling
+// with core.Options.AnalyticPhases must yield byte-identical splitting
+// advice on every paper workload. Eligible runs (every phase exact tier)
+// are synthesized without VM or cache simulation; ineligible ones fall
+// back to full simulation, which is trivially identical — both cases are
+// asserted here so a silent routing regression fails the suite.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+// adviceOf flattens a report to its actionable output.
+func adviceOf(rep *core.Report) map[string]*core.SplitAdvice {
+	out := make(map[string]*core.SplitAdvice)
+	for _, sr := range rep.Structures {
+		out[sr.Name] = sr.Advice
+	}
+	return out
+}
+
+// analyticEligibleWorkloads are the paper workloads whose every phase is
+// exact tier at test scale: single-threaded ForRange nests over globals.
+var analyticEligibleWorkloads = map[string]bool{"art": true, "libquantum": true}
+
+func TestAnalyticTwinAdvice(t *testing.T) {
+	for _, name := range workloads.PaperOrder {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := structslim.Options{SamplePeriod: 3000, Seed: 7}
+
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, simRep, err := structslim.ProfileAndAnalyze(p, phases, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p2, phases2, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Analysis.AnalyticPhases = true
+			anaRes, anaRep, err := structslim.ProfileAndAnalyze(p2, phases2, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			simAdv, anaAdv := adviceOf(simRep), adviceOf(anaRep)
+			if !reflect.DeepEqual(simAdv, anaAdv) {
+				t.Errorf("advice diverged:\nsimulated: %+v\nanalytic:  %+v", simAdv, anaAdv)
+			}
+			if len(simAdv) == 0 {
+				t.Errorf("no structure analyzed — the twin comparison is vacuous")
+			}
+
+			// The eligible workloads must actually take the analytic path:
+			// the synthesized run fabricates the hierarchy counters, which
+			// never count prefetches; the simulated run with the default
+			// config does.
+			tookAnalytic := anaRes.Stats.Cache.PrefetchIssued == 0 &&
+				simRes.Stats.Cache.PrefetchIssued > 0
+			if analyticEligibleWorkloads[name] && !tookAnalytic {
+				t.Errorf("expected the analytic path, but the run was simulated")
+			}
+			if !analyticEligibleWorkloads[name] && tookAnalytic {
+				t.Errorf("ineligible workload took the analytic path")
+			}
+
+			// On the fallback path the twin runs must be fully identical,
+			// not merely advice-identical.
+			if !analyticEligibleWorkloads[name] {
+				if !reflect.DeepEqual(simRes.Profile, anaRes.Profile) {
+					t.Errorf("fallback path altered the profile")
+				}
+				if !reflect.DeepEqual(simRes.Stats, anaRes.Stats) {
+					t.Errorf("fallback path altered the run stats")
+				}
+			} else {
+				// The synthesized sampled stream must be identical in IPs
+				// and addresses (sampling is access-count driven); only
+				// serving levels may differ.
+				if simRes.Profile.NumSamples != anaRes.Profile.NumSamples {
+					t.Errorf("sample count diverged: simulated %d, analytic %d",
+						simRes.Profile.NumSamples, anaRes.Profile.NumSamples)
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -167,6 +168,9 @@ func runGate(cur Doc, baselinePath, bench, metric string, higherIsBetter bool, m
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("%s: %v", baselinePath, err)
 	}
+	for _, miss := range missingMetrics(base, cur) {
+		fmt.Printf("WARNING: %s present in baseline but missing from candidate\n", miss)
+	}
 	baseV, err := find(base, bench, metric)
 	if err != nil {
 		return fmt.Errorf("baseline: %v", err)
@@ -193,6 +197,29 @@ func runGate(cur Doc, baselinePath, bench, metric string, higherIsBetter bool, m
 		return fmt.Errorf("%s %s regressed %.1f%% (> %.1f%%)", bench, metric, reg, maxRegressPct)
 	}
 	return nil
+}
+
+// missingMetrics lists every "bench metric" pair recorded in the baseline
+// document but absent from the candidate — a renamed benchmark or a
+// dropped b.ReportMetric call silently un-gates a metric, so the gate
+// surfaces the gap as a warning. The list is sorted for stable output.
+func missingMetrics(base, cur Doc) []string {
+	have := make(map[string]bool)
+	for _, b := range cur.Benchmarks {
+		for unit := range b.Metrics {
+			have[b.Name+" "+unit] = true
+		}
+	}
+	var out []string
+	for _, b := range base.Benchmarks {
+		for unit := range b.Metrics {
+			if key := b.Name + " " + unit; !have[key] {
+				out = append(out, key)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func fail(err error) {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+BenchmarkARTProfile/fastpath-8   	      12	  90000000 ns/op	 2.500 x-vs-reference
+BenchmarkAnalyticSweep-8         	       3	 400000000 ns/op	 2.541 speedup
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(benches), benches)
+	}
+	want := Benchmark{
+		Name:       "BenchmarkAnalyticSweep",
+		Iterations: 3,
+		Metrics:    map[string]float64{"ns/op": 4e8, "speedup": 2.541},
+	}
+	if !reflect.DeepEqual(benches[1], want) {
+		t.Errorf("got %+v, want %+v", benches[1], want)
+	}
+}
+
+func TestMissingMetrics(t *testing.T) {
+	base := Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1, "speedup": 2}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 3}},
+	}}
+	cur := Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	got := missingMetrics(base, cur)
+	want := []string{"BenchmarkA speedup", "BenchmarkB ns/op"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("missingMetrics = %v, want %v", got, want)
+	}
+	if m := missingMetrics(base, base); m != nil {
+		t.Errorf("identical docs reported missing metrics: %v", m)
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	base := Doc{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Iterations: 1, Metrics: map[string]float64{"speedup": 2.5}},
+	}}
+	write := func(t *testing.T, doc Doc) string {
+		t.Helper()
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cur := Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"speedup": 2.6}},
+	}}
+	if err := runGate(cur, write(t, base), "BenchmarkX", "speedup", true, 15); err != nil {
+		t.Errorf("improvement flagged as regression: %v", err)
+	}
+
+	cur.Benchmarks[0].Metrics["speedup"] = 1.0
+	if err := runGate(cur, write(t, base), "BenchmarkX", "speedup", true, 15); err == nil {
+		t.Error("60%% slowdown passed the gate")
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/prog"
 	"repro/internal/sharing"
 	"repro/internal/staticlint"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 	"repro/structslim"
 )
@@ -31,6 +33,7 @@ func runVet(args []string, out io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "sampling randomization seed")
 		staticOnly  = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
 		withSharing = fs.Bool("sharing", false, "also run the sharing & false-sharing analyzer with its coherence cross-check")
+		withReuse   = fs.Bool("reuse", false, "also predict per-nest reuse-distance histograms & miss ratios statically and verify them against an instrumented run")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +63,7 @@ func runVet(args []string, out io.Writer) error {
 		if len(targets) > 1 {
 			fmt.Fprintf(out, "=== %s ===\n", w.Name())
 		}
-		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, *withSharing, out)
+		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, *withSharing, *withReuse, out)
 		if err != nil {
 			return fmt.Errorf("vet %s: %w", w.Name(), err)
 		}
@@ -74,7 +77,7 @@ func runVet(args []string, out io.Writer) error {
 	return nil
 }
 
-func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly, withSharing bool, out io.Writer) (bool, error) {
+func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly, withSharing, withReuse bool, out io.Writer) (bool, error) {
 	p, phases, err := w.Build(nil, sc)
 	if err != nil {
 		return false, err
@@ -84,6 +87,16 @@ func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, stati
 		return false, err
 	}
 	a.RenderText(out)
+
+	// The reuse predictor models demand behaviour, so its verification
+	// run disables the prefetcher.
+	reuseCfg := cache.DefaultConfig()
+	reuseCfg.Prefetch = false
+	var rp *staticlint.ReusePrediction
+	if withReuse {
+		rp = staticlint.PredictReuse(a, reuseCfg)
+		rp.RenderText(out)
+	}
 
 	var rep *core.Report
 	ok := true
@@ -97,6 +110,14 @@ func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, stati
 		}
 		rep = dynRep
 		r := staticlint.CrossCheck(a, res.Profile, 0)
+		if rp != nil {
+			rr, err := verifyReuse(p, phases, rp, reuseCfg)
+			if err != nil {
+				return false, err
+			}
+			r.FoldReuse(rr)
+			rr.RenderText(out)
+		}
 		r.RenderText(out)
 		ok = !r.Failed()
 	}
@@ -121,4 +142,35 @@ func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, stati
 	}
 	staticlint.WriteFindings(out, staticlint.Lint(a, rep))
 	return ok, nil
+}
+
+// verifyReuse runs the workload once more with the trace checker attached
+// (no sampler, prefetch off) and returns the static-vs-dynamic report.
+func verifyReuse(p *prog.Program, phases []structslim.Phase, rp *staticlint.ReusePrediction, cfg cache.Config) (*staticlint.ReuseReport, error) {
+	cores := 1
+	for _, ph := range phases {
+		for _, ts := range ph {
+			if ts.Core+1 > cores {
+				cores = ts.Core + 1
+			}
+		}
+	}
+	m, err := vm.NewMachine(p, cfg, cores, vm.Config{})
+	if err != nil {
+		return nil, err
+	}
+	tc := staticlint.NewTraceChecker(rp)
+	m.Observer = tc
+	if len(phases) == 0 {
+		phases = []structslim.Phase{{vm.ThreadSpec{Fn: p.EntryFn}}}
+	}
+	var last vm.Stats
+	for _, ph := range phases {
+		st, err := m.Run(ph)
+		if err != nil {
+			return nil, err
+		}
+		last = st
+	}
+	return tc.Finish(last), nil
 }

@@ -53,6 +53,12 @@ type Options struct {
 	// paper argues against. Exposed for the ablation study; the default
 	// (false) is the paper's latency weighting.
 	WeightByCount bool
+	// AnalyticPhases lets the profiler skip VM and cache simulation for
+	// phases whose every loop nest is exact tier with a confirmed static
+	// reuse prediction: the phase's profile contribution is synthesized
+	// analytically from the closed-form access schedule. Advice is
+	// unchanged; phases outside the exact tier fall back to simulation.
+	AnalyticPhases bool
 }
 
 // DefaultOptions mirrors the paper's settings.

@@ -63,17 +63,55 @@ func (a *Analyzer) prefix(i uint64) uint64 {
 }
 
 func (a *Analyzer) grow() {
-	nb := make([]uint64, len(a.bit)*2)
-	old := a.bit
-	a.bit = nb
-	// Rebuild from the set of last-access times.
-	for i := range nb {
-		nb[i] = 0
-	}
-	_ = old
+	// Rebuild the tree at double size from the set of last-access times:
+	// only "most recent access" markers carry weight, so the live state is
+	// exactly one +1 per tracked line.
+	a.bit = make([]uint64, len(a.bit)*2)
 	for _, t := range a.lastTime {
 		a.add(t, 1)
 	}
+}
+
+// Reset clears all observation state — timestamps, the Fenwick tree, and
+// the histogram — while keeping the allocated tree capacity, so pooled
+// analyzers can be reused across phases without reallocating.
+func (a *Analyzer) Reset() {
+	if len(a.lastTime) > 0 {
+		a.lastTime = make(map[uint64]uint64, len(a.lastTime))
+	}
+	for i := range a.bit {
+		a.bit[i] = 0
+	}
+	a.time = 0
+	a.Hist = [64]uint64{}
+	a.Cold = 0
+	a.N = 0
+}
+
+// Merge folds another analyzer's recorded histogram (Hist, Cold, N) into
+// this one. Only the distance accounting merges: the two analyzers'
+// traces must have been observed independently (e.g. one phase each);
+// merging does not splice their timestamp state.
+func (a *Analyzer) Merge(o *Analyzer) {
+	if o == nil {
+		return
+	}
+	for i := range a.Hist {
+		a.Hist[i] += o.Hist[i]
+	}
+	a.Cold += o.Cold
+	a.N += o.N
+}
+
+// FromTrace runs the exact analyzer over a complete line-address trace
+// and returns it with the full histogram populated — the differential
+// baseline for static reuse predictions.
+func FromTrace(lines []uint64) *Analyzer {
+	a := NewAnalyzer(len(lines))
+	for _, ln := range lines {
+		a.Observe(ln)
+	}
+	return a
 }
 
 // Observe processes one access to a line and returns its reuse distance:

@@ -1,0 +1,211 @@
+package reuse
+
+// StackModel classifies every access of a line trace by which capacity
+// band of a fully-associative LRU stack it hits — the "LRU stack model"
+// folding of a reuse-distance histogram, evaluated online in O(1) per
+// access instead of O(log n).
+//
+// It maintains the LRU stack as a doubly-linked list with one boundary
+// marker per capacity: when a line moves to the front, only the markers
+// above its old position shift, each by exactly one node. With the
+// capacities of the simulated hierarchy (in lines), Touch returns the
+// index of the level the access would hit, which is how the analytic
+// profile synthesis assigns a level and latency to every access without
+// simulating the caches.
+//
+// The classification agrees exactly with Analyzer: an access with reuse
+// distance d (distinct lines since the previous use) sits at stack
+// position d+1, so it lands in band i iff caps[i-1] <= d < caps[i], and
+// in band len(caps) — memory — when d >= caps[len(caps)-1] or the access
+// is a first touch.
+type StackModel struct {
+	caps []uint64 // ascending capacities in lines
+
+	nodes []stackNode
+	free  []int32
+
+	// index maps a line to its node. Lines inside the dense window
+	// [lo, lo+len(dense)) resolve through a flat slice; the map catches
+	// strays.
+	dense  []int32
+	lo     uint64
+	sparse map[uint64]int32
+
+	head, tail int32
+	size       uint64
+
+	// marker[i] is the node at stack position caps[i] (1-based from the
+	// MRU end), or -1 while the stack is shorter than caps[i].
+	marker []int32
+}
+
+type stackNode struct {
+	line       uint64
+	prev, next int32
+	band       int32
+}
+
+// NewStackModel builds a model for the given line capacities, which must
+// be strictly ascending and nonzero (as cache levels are).
+func NewStackModel(caps []uint64) *StackModel {
+	for i, c := range caps {
+		if c == 0 || (i > 0 && c <= caps[i-1]) {
+			panic("reuse: stack-model capacities must be strictly ascending and nonzero")
+		}
+	}
+	s := &StackModel{
+		caps:   append([]uint64(nil), caps...),
+		sparse: make(map[uint64]int32),
+		head:   -1,
+		tail:   -1,
+		marker: make([]int32, len(caps)),
+	}
+	for i := range s.marker {
+		s.marker[i] = -1
+	}
+	return s
+}
+
+// Prime pre-allocates a dense line→node index for the window
+// [lo, lo+extent); lines outside it fall back to the map. The analytic
+// synthesis primes the model with the program's global-data line range.
+func (s *StackModel) Prime(lo, extent uint64) {
+	if extent == 0 || extent > 1<<28 {
+		return
+	}
+	s.lo = lo
+	s.dense = make([]int32, extent)
+	for i := range s.dense {
+		s.dense[i] = -1
+	}
+}
+
+func (s *StackModel) lookup(line uint64) int32 {
+	if s.dense != nil {
+		if i := line - s.lo; i < uint64(len(s.dense)) {
+			return s.dense[i]
+		}
+	}
+	if n, ok := s.sparse[line]; ok {
+		return n
+	}
+	return -1
+}
+
+func (s *StackModel) store(line uint64, n int32) {
+	if s.dense != nil {
+		if i := line - s.lo; i < uint64(len(s.dense)) {
+			s.dense[i] = n
+			return
+		}
+	}
+	if n < 0 {
+		delete(s.sparse, line)
+	} else {
+		s.sparse[line] = n
+	}
+}
+
+// NumBands returns the number of Touch classes: len(caps)+1, the last
+// being "beyond every capacity" (memory).
+func (s *StackModel) NumBands() int { return len(s.caps) + 1 }
+
+// Touch records one access and returns its band: i < len(caps) means the
+// line sat within caps[i] (a hit at level i), len(caps) means it sat
+// beyond every capacity or was a first touch (memory).
+func (s *StackModel) Touch(line uint64) int {
+	ni := s.lookup(line)
+	if ni < 0 {
+		return s.insert(line)
+	}
+	nd := &s.nodes[ni]
+	band := int(nd.band)
+
+	if ni == s.head {
+		return band
+	}
+	// Markers strictly above the node's old position each slide one
+	// position down (their node crosses into the next band). Markers at
+	// those positions are never the node itself: the node's position is
+	// strictly below caps[i] for every i < band.
+	for i := 0; i < band && i < len(s.marker); i++ {
+		mi := s.marker[i]
+		if mi < 0 {
+			continue
+		}
+		s.nodes[mi].band++
+		if p := s.nodes[mi].prev; p >= 0 {
+			s.marker[i] = p
+		} else {
+			// The boundary was the head (capacity 1): after the move the
+			// node itself occupies position 1.
+			s.marker[i] = ni
+		}
+	}
+	// The node may itself be the boundary of its own band (position
+	// exactly caps[band]): its removal pulls that marker up one node;
+	// positions below it are unchanged.
+	if band < len(s.marker) && s.marker[band] == ni {
+		s.marker[band] = nd.prev
+	}
+	s.unlink(ni)
+	s.pushFront(ni)
+	nd.band = 0
+	return band
+}
+
+// insert handles a first touch: push the line on top of the stack, shift
+// every marker, and return the memory band.
+func (s *StackModel) insert(line uint64) int {
+	var ni int32
+	if n := len(s.free); n > 0 {
+		ni = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.nodes = append(s.nodes, stackNode{})
+		ni = int32(len(s.nodes) - 1)
+	}
+	s.nodes[ni] = stackNode{line: line, prev: -1, next: -1}
+	s.store(line, ni)
+	s.pushFront(ni)
+	s.size++
+	for i := range s.marker {
+		switch {
+		case s.marker[i] >= 0:
+			// Every existing node shifted one position down.
+			s.nodes[s.marker[i]].band++
+			s.marker[i] = s.nodes[s.marker[i]].prev
+		case s.size == s.caps[i]:
+			// The stack just reached this capacity: the boundary is the
+			// current tail.
+			s.marker[i] = s.tail
+		}
+	}
+	return len(s.caps)
+}
+
+func (s *StackModel) pushFront(ni int32) {
+	s.nodes[ni].prev = -1
+	s.nodes[ni].next = s.head
+	if s.head >= 0 {
+		s.nodes[s.head].prev = ni
+	}
+	s.head = ni
+	if s.tail < 0 {
+		s.tail = ni
+	}
+}
+
+func (s *StackModel) unlink(ni int32) {
+	nd := &s.nodes[ni]
+	if nd.prev >= 0 {
+		s.nodes[nd.prev].next = nd.next
+	} else {
+		s.head = nd.next
+	}
+	if nd.next >= 0 {
+		s.nodes[nd.next].prev = nd.prev
+	} else {
+		s.tail = nd.prev
+	}
+}

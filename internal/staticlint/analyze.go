@@ -107,6 +107,10 @@ type Analysis struct {
 	// UnanalyzedFns lists functions whose dataflow did not converge within
 	// the iteration budget; all their streams are Unresolved.
 	UnanalyzedFns []int
+
+	// Reuse is the static reuse-distance prediction, populated by
+	// PredictReuse (nil until then).
+	Reuse *ReusePrediction
 }
 
 // basicIV is a detected loop induction variable: within its loop, reg is

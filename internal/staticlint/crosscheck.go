@@ -99,10 +99,28 @@ type CrossReport struct {
 	NumExact, NumHint, NumUnresolved int
 
 	OK, Mismatches, Warnings, StaticOnly, DynamicOnly int
+
+	// Reuse holds the static-vs-dynamic reuse validation when FoldReuse
+	// was called (nil otherwise).
+	Reuse *ReuseReport
 }
 
 // Failed reports whether any hard invariant was violated.
 func (r *CrossReport) Failed() bool { return r.Mismatches > 0 }
+
+// FoldReuse merges a reuse-verification report into the cross-check: a
+// diverging exact-tier reuse claim is as hard a failure as a diverging
+// stride claim, so every reuse failure counts as a mismatch.
+func (r *CrossReport) FoldReuse(rr *ReuseReport) {
+	if rr == nil {
+		return
+	}
+	r.Reuse = rr
+	r.Mismatches += rr.Failures
+	if rr.Stray > 0 || len(rr.Unexecuted) > 0 {
+		r.Warnings++
+	}
+}
 
 // mergedStream is one dynamic stream folded over calling contexts: GCD of
 // the per-context GCDs (exactly how MergeThreadProfiles folds threads),

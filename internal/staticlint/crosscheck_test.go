@@ -1,11 +1,40 @@
-package staticlint
+package staticlint_test
 
 import (
 	"testing"
 
+	"repro/internal/cache"
+	"repro/internal/prog"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 	"repro/structslim"
+
+	. "repro/internal/staticlint"
 )
+
+// buildAoS builds: for i in [0,n) { x=recs[i].a; y=recs[i].b; recs[i].c=x+y }
+// over a global array of recSize-byte records.
+func buildAoS(t *testing.T, n int64, recSize int) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("aos")
+	g := b.Global("recs", n*int64(recSize), -1)
+	b.Func("main", "aos.c")
+	base, i, x, y := b.R(), b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.AtLine(10)
+	b.ForRange(i, 0, n, 1, func() {
+		b.Load(x, base, i, recSize, 0, 8)
+		b.Load(y, base, i, recSize, 8, 8)
+		b.Add(x, x, y)
+		b.Store(x, base, i, recSize, 16, 8)
+	})
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
 
 func TestCrossCheckAoS(t *testing.T) {
 	p := buildAoS(t, 400, 64)
@@ -62,6 +91,100 @@ func TestCrossCheckDetectsLies(t *testing.T) {
 	}
 	if r := CrossCheck(a, res.Profile, 0); !r.Failed() {
 		t.Error("corrupted static strides were not flagged")
+	}
+}
+
+// TestCrossCheckZeroSampleProfile: a sampling period far beyond the
+// workload's access count yields an empty profile. The cross-check must
+// not crash or report mismatches — every exact prediction degrades to
+// static-only, and folding an (absent) reuse report stays a no-op.
+func TestCrossCheckZeroSampleProfile(t *testing.T) {
+	p := buildAoS(t, 50, 64)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 1 << 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+	if res.Profile.NumSamples != 0 {
+		t.Fatalf("expected an empty profile, got %d samples", res.Profile.NumSamples)
+	}
+	r := CrossCheck(a, res.Profile, 0)
+	if r.Failed() {
+		t.Fatalf("empty profile produced %d mismatches", r.Mismatches)
+	}
+	if r.OK != 0 || r.DynamicOnly != 0 {
+		t.Errorf("empty profile cannot confirm streams: %d ok, %d dynamic-only", r.OK, r.DynamicOnly)
+	}
+	if r.StaticOnly != r.NumExact || r.NumExact == 0 {
+		t.Errorf("want all %d exact streams static-only, got %d", r.NumExact, r.StaticOnly)
+	}
+	r.FoldReuse(nil)
+	if r.Failed() || r.Reuse != nil {
+		t.Error("folding a nil reuse report changed the verdict")
+	}
+}
+
+// TestCrossCheckSingleIterationLoop: a trip-count-1 nest still produces a
+// consistent static/dynamic pair — the predictor emits a cold-only
+// histogram with no division by zero, and the full reuse verification
+// (histogram, trace replay, per-level check) holds on the real run.
+func TestCrossCheckSingleIterationLoop(t *testing.T) {
+	p := buildAoS(t, 1, 64)
+	a, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	res, err := structslim.ProfileRun(p, nil, structslim.Options{SamplePeriod: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("ProfileRun: %v", err)
+	}
+	r := CrossCheck(a, res.Profile, 1)
+	if r.Failed() {
+		t.Fatalf("trip-1 cross-check failed: %d mismatches", r.Mismatches)
+	}
+
+	cfg := cache.DefaultConfig()
+	cfg.Prefetch = false
+	rp := PredictReuse(a, cfg)
+	if len(rp.Nests) != 1 {
+		t.Fatalf("predicted %d nests, want 1 (skipped: %+v)", len(rp.Nests), rp.Skipped)
+	}
+	np := rp.Nests[0]
+	if np.Trips != 1 || np.Accesses != 3 {
+		t.Fatalf("trip-1 nest: trips=%d accesses=%d, want 1 and 3", np.Trips, np.Accesses)
+	}
+	// All three accesses land on one 64-byte record: one cold touch, two
+	// immediate line reuses — nothing reaches past L1.
+	if np.Total.Cold != 1 || np.Total.Buckets[0] != 2 {
+		t.Fatalf("trip-1 histogram: cold=%d buckets[0]=%d, want 1 and 2", np.Total.Cold, np.Total.Buckets[0])
+	}
+	for l := range rp.Levels {
+		want := 1.0 / 3.0
+		if got := np.MissRatio(l); got < want-1e-12 || got > want+1e-12 {
+			t.Errorf("level %d miss ratio %v, want cold-only 1/3", l, got)
+		}
+	}
+
+	m, err := vm.NewMachine(p, cfg, 1, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTraceChecker(rp)
+	m.Observer = tc
+	st, err := m.Run([]vm.ThreadSpec{{Fn: p.EntryFn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := tc.Finish(st)
+	r.FoldReuse(rr)
+	if !rr.OK() || r.Failed() {
+		t.Fatalf("trip-1 reuse verification failed: %+v", rr)
+	}
+	if len(rr.Nests) != 1 || rr.Nests[0].Execs != 1 {
+		t.Fatalf("trip-1 nest executions: %+v", rr.Nests)
 	}
 }
 

@@ -1,12 +1,72 @@
-package staticlint
+package staticlint_test
 
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/structslim"
+
+	. "repro/internal/staticlint"
 )
+
+// fuzzProgram decodes the shared byte-pair loop-nest encoding (see
+// FuzzResolver) into a program, or nil when the input is unusable.
+func fuzzProgram(data []byte) *prog.Program {
+	if len(data) < 2 || len(data) > 64 {
+		return nil
+	}
+	b := prog.NewBuilder("fuzz")
+	g := b.Global("g", 1<<16, -1)
+	b.Func("main", "fuzz.c")
+	base, x := b.R(), b.R()
+	b.GAddr(base, g)
+	var ivs []isa.Reg
+	loops := 0
+	pos := 0
+	var walk func(depth int)
+	walk = func(depth int) {
+		for pos+1 < len(data) {
+			op, arg := data[pos], data[pos+1]
+			pos += 2
+			idx := isa.RZ
+			if len(ivs) > 0 {
+				idx = ivs[int(arg)%len(ivs)]
+			}
+			scale := int(arg%16) * 8  // 0 means ×1 to the ISA
+			disp := int64(arg%64) * 8 // within the global
+			switch op % 4 {
+			case 0:
+				b.Load(x, base, idx, scale, disp, 8)
+			case 1:
+				b.Store(x, base, idx, scale, disp, 8)
+			case 2:
+				if depth >= 3 || loops >= 6 {
+					continue
+				}
+				loops++
+				iv := b.R()
+				trips := int64(arg%7) + 2
+				step := int64(arg%3) + 1
+				ivs = append(ivs, iv)
+				b.ForRange(iv, 0, trips*step, step, func() { walk(depth + 1) })
+				ivs = ivs[:len(ivs)-1]
+			case 3:
+				if depth > 0 {
+					return
+				}
+			}
+		}
+	}
+	walk(0)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		return nil // malformed program rejected by the builder, fine
+	}
+	return p
+}
 
 // FuzzResolver drives the symbolic address resolver with byte-encoded
 // loop-nest programs over one bounded global: AnalyzeProgram must never
@@ -25,56 +85,9 @@ func FuzzResolver(f *testing.F) {
 	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 0, 7})        // depth-capped nest
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 2 || len(data) > 64 {
+		p := fuzzProgram(data)
+		if p == nil {
 			return
-		}
-		b := prog.NewBuilder("fuzz")
-		g := b.Global("g", 1<<16, -1)
-		b.Func("main", "fuzz.c")
-		base, x := b.R(), b.R()
-		b.GAddr(base, g)
-		var ivs []isa.Reg
-		loops := 0
-		pos := 0
-		var walk func(depth int)
-		walk = func(depth int) {
-			for pos+1 < len(data) {
-				op, arg := data[pos], data[pos+1]
-				pos += 2
-				idx := isa.RZ
-				if len(ivs) > 0 {
-					idx = ivs[int(arg)%len(ivs)]
-				}
-				scale := int(arg%16) * 8  // 0 means ×1 to the ISA
-				disp := int64(arg%64) * 8 // within the global
-				switch op % 4 {
-				case 0:
-					b.Load(x, base, idx, scale, disp, 8)
-				case 1:
-					b.Store(x, base, idx, scale, disp, 8)
-				case 2:
-					if depth >= 3 || loops >= 6 {
-						continue
-					}
-					loops++
-					iv := b.R()
-					trips := int64(arg%7) + 2
-					step := int64(arg%3) + 1
-					ivs = append(ivs, iv)
-					b.ForRange(iv, 0, trips*step, step, func() { walk(depth + 1) })
-					ivs = ivs[:len(ivs)-1]
-				case 3:
-					if depth > 0 {
-						return
-					}
-				}
-			}
-		}
-		walk(0)
-		b.Halt()
-		p, err := b.Program()
-		if err != nil {
-			return // malformed program rejected by the builder, fine
 		}
 
 		a, err := AnalyzeProgram(p) // must not panic on any input
@@ -100,6 +113,64 @@ func FuzzResolver(f *testing.F) {
 			if stat.GCD%sp.Stride != 0 {
 				t.Fatalf("IP %#x: static stride %d does not divide dynamic GCD %d",
 					key.IP, sp.Stride, stat.GCD)
+			}
+		}
+	})
+}
+
+// FuzzReusePredictor drives the static reuse predictor over the same
+// byte-encoded loop-nest space: PredictReuse must never panic, and every
+// histogram it emits — per nest, per object, per member loop — must
+// conserve mass (Σ buckets + cold == N), with the per-level miss counts
+// bounded by it. Skipping a nest is always legal; lying about one is not.
+func FuzzReusePredictor(f *testing.F) {
+	f.Add([]byte{2, 5, 0, 9, 3, 0})                    // one loop, one load
+	f.Add([]byte{2, 3, 2, 8, 0, 17, 3, 0, 1, 4, 3, 0}) // nest: inner load, outer store
+	f.Add([]byte{0, 0, 2, 1, 1, 255, 2, 6, 0, 33})     // straight-line + unclosed loops
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 0, 7})        // depth-capped nest
+
+	cfg := cache.DefaultConfig()
+	cfg.Prefetch = false
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProgram(data)
+		if p == nil {
+			return
+		}
+		a, err := AnalyzeProgram(p)
+		if err != nil {
+			t.Fatalf("AnalyzeProgram: %v", err)
+		}
+		rp := PredictReuse(a, cfg) // must not panic on any input
+		checkMass := func(what string, h ReuseHist, misses []uint64) {
+			if got := h.Mass(); got != h.N {
+				t.Fatalf("%s: mass %d != N %d (cold %d)", what, got, h.N, h.Cold)
+			}
+			for l, m := range misses {
+				if m > h.N {
+					t.Fatalf("%s: level %d misses %d exceed N %d", what, l, m, h.N)
+				}
+				if m < h.Cold {
+					t.Fatalf("%s: level %d misses %d below cold %d", what, l, m, h.Cold)
+				}
+			}
+		}
+		for _, np := range rp.Nests {
+			checkMass("nest", np.Total, np.Misses)
+			if np.Total.N != np.Accesses {
+				t.Fatalf("nest N %d != Accesses %d", np.Total.N, np.Accesses)
+			}
+			var objN, loopN uint64
+			for _, obj := range np.Objects {
+				checkMass("object "+obj.Name, obj.Hist, obj.Misses)
+				objN += obj.Hist.N
+			}
+			for _, lr := range np.Loops {
+				checkMass("loop", lr.Hist, lr.Misses)
+				loopN += lr.Hist.N
+			}
+			if objN != np.Accesses || loopN != np.Accesses {
+				t.Fatalf("attribution leak: objects %d, loops %d, nest %d", objN, loopN, np.Accesses)
 			}
 		}
 	})

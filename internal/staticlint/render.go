@@ -93,6 +93,92 @@ func (r *CrossReport) RenderText(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// RenderText writes the static reuse-distance predictions: one line per
+// nest with per-level miss ratios, then the skipped nests with reasons.
+func (rp *ReusePrediction) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Static reuse prediction for %s (%d nest(s), %d skipped):\n",
+		rp.Program, len(rp.Nests), len(rp.Skipped))
+	for _, np := range rp.Nests {
+		loop := "-"
+		if np.Info != nil {
+			loop = np.Info.Name()
+		}
+		mode := "enumerated"
+		if np.Extrapolated {
+			mode = fmt.Sprintf("period=%d after %d iter(s)", np.Period, np.SimulatedIters)
+		}
+		fmt.Fprintf(w, "  %-24s trips=%-8d accesses=%-10d cold=%-8d %s\n",
+			loop, np.Trips, np.Accesses, np.Total.Cold, mode)
+		for l, lev := range rp.Levels {
+			fmt.Fprintf(w, "    %-4s miss ratio %.4f (%d / %d)\n",
+				lev.Name, np.MissRatio(l), np.Misses[l], np.Accesses)
+		}
+		for _, obj := range np.Objects {
+			fmt.Fprintf(w, "    object %-24s accesses=%-10d cold=%d\n",
+				obj.Name, obj.Hist.N, obj.Hist.Cold)
+		}
+	}
+	for _, sk := range rp.Skipped {
+		loop := "-"
+		if sk.Info != nil {
+			loop = sk.Info.Name()
+		}
+		fmt.Fprintf(w, "  %-24s skipped: %s\n", loop, sk.Reason)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderText summarizes the static-vs-dynamic reuse verification.
+func (rr *ReuseReport) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "Reuse verification against instrumented run (%s):\n", rr.Program)
+	for _, nc := range rr.Nests {
+		loop := "-"
+		if nc.Info != nil {
+			loop = nc.Info.Name()
+		}
+		verdict := "ok"
+		if !nc.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-24s execs=%-6d accesses=%-10d %s\n",
+			loop, nc.Execs, nc.DynAccesses, verdict)
+		if !nc.HistMatch {
+			fmt.Fprintf(w, "    histogram: %s\n", nc.HistDetail)
+		}
+		if !nc.TraceMatch {
+			fmt.Fprintf(w, "    first-exec trace: %s\n", nc.TraceDetail)
+		}
+		for _, lc := range nc.Levels {
+			status := "ok"
+			if !lc.OK {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "    %-4s capacity-miss ratio predicted %.4f measured %.4f %s\n",
+				lc.Name, lc.Predicted, lc.Measured, status)
+		}
+	}
+	if rr.Stray > 0 {
+		fmt.Fprintf(w, "  %d access(es) outside every predicted nest (whole-run check skipped)\n", rr.Stray)
+	}
+	if len(rr.Unexecuted) > 0 {
+		fmt.Fprintf(w, "  %d predicted nest(s) never executed\n", len(rr.Unexecuted))
+	}
+	if wr := rr.WholeRun; wr != nil {
+		status := "ok"
+		if !wr.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  whole-run L1 miss ratio: measured %.4f in predicted [%.4f, %.4f] %s\n",
+			wr.Measured, wr.PredictedLow, wr.PredictedHigh, status)
+	}
+	if rr.OK() {
+		fmt.Fprintf(w, "  RESULT: ok — every executed nest matches its predicted reuse profile\n")
+	} else {
+		fmt.Fprintf(w, "  RESULT: FAIL — %d reuse check(s) contradict the instrumented run\n", rr.Failures)
+	}
+	fmt.Fprintln(w)
+}
+
 // WriteFindings renders the layout-lint findings, one per line.
 func WriteFindings(w io.Writer, findings []Finding) {
 	if len(findings) == 0 {

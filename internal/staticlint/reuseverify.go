@@ -1,0 +1,365 @@
+package staticlint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/reuse"
+	"repro/internal/vm"
+)
+
+// reuseverify.go is the dynamic twin of reuse.go: it checks a static
+// ReusePrediction against an actual simulated execution, three ways.
+//
+//  1. Histogram differential — the VM's access stream is segmented into
+//     nest executions (per thread, by access IPs and the statically known
+//     per-execution access count) and fed through the exact
+//     Bennett–Kruskal analyzer from cold, exactly mirroring the
+//     predictor's per-nest cold definition. The dynamic histogram of
+//     every nest must equal the static one, bucket by bucket, within
+//     HistTolerance.
+//  2. FromTrace differential — the first execution's line trace is
+//     retained verbatim and replayed through reuse.FromTrace; its
+//     histogram must match both the incremental segmentation (validating
+//     the online analyzer) and the static prediction (validating the
+//     exact-tier claim from a cold stack) exactly.
+//  3. Miss-ratio cross-check — the predicted per-level miss ratios are
+//     compared against the hierarchy's measured behaviour: per nest from
+//     the per-access serving level, and whole-run against the L1
+//     hit/miss counters when every access fell inside a predicted nest.
+//     The per-nest comparison covers capacity misses only (first touches
+//     excluded from both sides): the prediction is made from a cold
+//     stack, but at run time earlier code may already have warmed the
+//     cache, so compulsory misses are not reproducible — reuse behaviour
+//     is. The whole-run check brackets the measured L1 miss ratio
+//     between the capacity-only and the everything-cold prediction.
+//     Run the measurement with prefetching disabled: the stack model has
+//     no prefetcher, and the stated tolerance (LevelTolerance) accounts
+//     for associativity conflicts, not for prefetch hits.
+//
+// Divergence on an exact-tier claim is a hard failure: FoldReuse counts
+// it as a CrossReport mismatch, which fails `structslim vet`.
+
+const (
+	// HistTolerance is the allowed per-bucket discrepancy of checks 1 and
+	// 2, as a fraction of the nest's total accesses. Exact-tier claims
+	// are deterministic, so matches are expected to be exact; the
+	// tolerance exists to make the acceptance threshold explicit.
+	HistTolerance = 0.005
+	// LevelTolerance is the allowed absolute difference between predicted
+	// and measured per-level miss ratios (the stack model is fully
+	// associative; the hierarchy is set-associative).
+	LevelTolerance = 0.10
+	// maxFirstTrace bounds the retained first-execution line trace.
+	maxFirstTrace = 8 << 20
+)
+
+// ReuseLevelCheck is one level's predicted-vs-measured capacity-miss
+// ratio (first touches excluded from both numerator and denominator).
+type ReuseLevelCheck struct {
+	Name      string
+	Predicted float64
+	Measured  float64
+	OK        bool
+}
+
+// ReuseNestCheck is the verification verdict for one predicted nest.
+type ReuseNestCheck struct {
+	Key  uint64
+	Info *cfg.LoopInfo
+
+	Execs       uint64
+	DynAccesses uint64
+
+	HistMatch   bool
+	HistDetail  string
+	TraceMatch  bool
+	TraceDetail string
+	Levels      []ReuseLevelCheck
+
+	OK bool
+}
+
+// ReuseWholeRun is the whole-run L1 cross-check (present only when every
+// access of the run fell inside a predicted nest): the measured miss
+// ratio must lie between the capacity-only prediction (as if the cache
+// were fully warm at every nest entry) and the everything-cold
+// prediction, within LevelTolerance on each side.
+type ReuseWholeRun struct {
+	PredictedLow  float64 // capacity misses only
+	PredictedHigh float64 // per-nest cold counted every execution
+	Measured      float64
+	OK            bool
+}
+
+// ReuseReport is the full static-vs-dynamic reuse validation of one run.
+type ReuseReport struct {
+	Program string
+	Nests   []ReuseNestCheck
+	// Stray counts accesses outside every predicted nest; Unexecuted
+	// lists predicted nests the run never entered (a warning, not a
+	// failure — the workload may not call that function).
+	Stray      uint64
+	Unexecuted []uint64
+	WholeRun   *ReuseWholeRun
+
+	Failures int
+}
+
+// OK reports whether every executed nest verified.
+func (rr *ReuseReport) OK() bool { return rr.Failures == 0 }
+
+// TraceChecker observes a VM run and verifies a ReusePrediction against
+// it. It adds no overhead cycles (OnAccess returns 0), so the profiled
+// execution is unperturbed. Chain it with another observer if the run
+// also needs sampling.
+type TraceChecker struct {
+	rp        *ReusePrediction
+	lineShift uint
+	ipNest    map[uint64]int
+
+	threads map[int]*tcThread
+	nests   []*nestDyn
+	stray   uint64
+}
+
+type tcThread struct {
+	cur  int // nest index, -1 outside
+	segN uint64
+	an   *reuse.Analyzer
+	// capturing is set while this thread runs the first observed
+	// execution of the current nest.
+	capturing bool
+}
+
+type nestDyn struct {
+	execs    uint64
+	hist     ReuseHist
+	measMiss []uint64
+
+	firstTrace []uint64
+	firstHist  ReuseHist
+	firstOpen  bool // a thread is currently capturing
+	firstDone  bool
+	firstOver  bool // trace exceeded maxFirstTrace, dropped
+}
+
+// NewTraceChecker builds a checker for a prediction. The run must use the
+// same cache geometry the prediction was made for.
+func NewTraceChecker(rp *ReusePrediction) *TraceChecker {
+	tc := &TraceChecker{
+		rp:      rp,
+		ipNest:  make(map[uint64]int),
+		threads: make(map[int]*tcThread),
+	}
+	for sz := rp.LineSize; sz > 1; sz >>= 1 {
+		tc.lineShift++
+	}
+	for ni, np := range rp.Nests {
+		for _, ip := range np.IPs {
+			tc.ipNest[ip] = ni
+		}
+		tc.nests = append(tc.nests, &nestDyn{measMiss: make([]uint64, len(rp.Levels))})
+	}
+	return tc
+}
+
+func (tc *TraceChecker) thread(tid int) *tcThread {
+	th, ok := tc.threads[tid]
+	if !ok {
+		th = &tcThread{cur: -1, an: reuse.NewAnalyzer(4096)}
+		tc.threads[tid] = th
+	}
+	return th
+}
+
+func (tc *TraceChecker) closeSeg(th *tcThread) {
+	if th.cur >= 0 && th.capturing {
+		nd := tc.nests[th.cur]
+		nd.firstOpen = false
+		nd.firstDone = true
+		th.capturing = false
+	}
+	th.cur = -1
+	th.segN = 0
+}
+
+// OnAccess implements vm.AccessObserver with zero overhead.
+func (tc *TraceChecker) OnAccess(ev *vm.MemEvent) uint64 {
+	ni, ok := tc.ipNest[ev.IP]
+	th := tc.thread(ev.TID)
+	if !ok {
+		tc.closeSeg(th)
+		tc.stray++
+		return 0
+	}
+	np := tc.rp.Nests[ni]
+	nd := tc.nests[ni]
+	// A new execution starts when the nest changes — or when the previous
+	// execution of the same nest is complete (the per-execution access
+	// count is statically exact, so back-to-back executions split here).
+	if th.cur != ni || th.segN == np.Accesses {
+		tc.closeSeg(th)
+		th.cur = ni
+		th.an.Reset()
+		nd.execs++
+		if !nd.firstDone && !nd.firstOpen && !nd.firstOver {
+			nd.firstOpen = true
+			th.capturing = true
+		}
+	}
+	th.segN++
+	line := ev.EA >> tc.lineShift
+	d := th.an.Observe(line)
+	nd.hist.add(d)
+	if d != reuse.Infinite {
+		// Serving levels are compared for reuses only: whether a first
+		// touch hits depends on what ran before the nest, which the
+		// per-nest cold model deliberately does not see.
+		for l := range nd.measMiss {
+			if int(ev.Level) > l+1 {
+				nd.measMiss[l]++
+			}
+		}
+	}
+	if th.capturing {
+		if len(nd.firstTrace) < maxFirstTrace {
+			nd.firstTrace = append(nd.firstTrace, line)
+			nd.firstHist.add(d)
+		} else {
+			// Too large to replay: drop the capture entirely.
+			nd.firstTrace = nil
+			nd.firstHist = ReuseHist{}
+			nd.firstOpen = false
+			nd.firstOver = true
+			th.capturing = false
+		}
+	}
+	return 0
+}
+
+// Finish closes every open segment and renders the verdicts. Pass the
+// run's stats to enable the whole-run counter cross-check; a zero
+// vm.Stats skips it.
+func (tc *TraceChecker) Finish(st vm.Stats) *ReuseReport {
+	for _, th := range tc.threads {
+		tc.closeSeg(th)
+	}
+	rr := &ReuseReport{Program: tc.rp.Program, Stray: tc.stray}
+	for ni, np := range tc.rp.Nests {
+		nd := tc.nests[ni]
+		if nd.execs == 0 {
+			rr.Unexecuted = append(rr.Unexecuted, np.Key)
+			continue
+		}
+		nc := ReuseNestCheck{
+			Key: np.Key, Info: np.Info,
+			Execs: nd.execs, DynAccesses: nd.hist.N,
+		}
+		nc.HistMatch, nc.HistDetail = histsMatch(np.Total, nd.hist, nd.execs)
+		nc.TraceMatch, nc.TraceDetail = tc.checkFirstTrace(np, nd)
+		nc.OK = nc.HistMatch && nc.TraceMatch
+		predReuses := np.Accesses - np.Total.Cold
+		dynReuses := nd.hist.N - nd.hist.Cold
+		for l, lv := range tc.rp.Levels {
+			lc := ReuseLevelCheck{Name: lv.Name, OK: true}
+			if predReuses > 0 {
+				lc.Predicted = float64(np.Misses[l]-np.Total.Cold) / float64(predReuses)
+			}
+			if dynReuses > 0 {
+				lc.Measured = float64(nd.measMiss[l]) / float64(dynReuses)
+			}
+			if predReuses > 0 && dynReuses > 0 {
+				d := lc.Predicted - lc.Measured
+				if d < 0 {
+					d = -d
+				}
+				lc.OK = d <= LevelTolerance
+			}
+			nc.OK = nc.OK && lc.OK
+			nc.Levels = append(nc.Levels, lc)
+		}
+		if !nc.OK {
+			rr.Failures++
+		}
+		rr.Nests = append(rr.Nests, nc)
+	}
+	sort.Slice(rr.Nests, func(i, j int) bool { return rr.Nests[i].Key < rr.Nests[j].Key })
+
+	// Whole-run counter cross-check: only meaningful when the prediction
+	// covers the entire access stream. Cold accesses of one nest execution
+	// may hit lines warmed by earlier nests (or earlier executions), so
+	// the true miss ratio is bracketed by the capacity-only and the
+	// everything-cold predictions.
+	if tc.stray == 0 && len(rr.Nests) > 0 && len(st.Cache.Levels) > 0 {
+		var missLow, missHigh, predN uint64
+		for ni, np := range tc.rp.Nests {
+			e := tc.nests[ni].execs
+			if len(np.Misses) > 0 {
+				missLow += (np.Misses[0] - np.Total.Cold) * e
+				missHigh += np.Misses[0] * e
+			}
+			predN += np.Accesses * e
+		}
+		l1 := st.Cache.Levels[0]
+		if predN > 0 && l1.Accesses > 0 {
+			wr := &ReuseWholeRun{
+				PredictedLow:  float64(missLow) / float64(predN),
+				PredictedHigh: float64(missHigh) / float64(predN),
+				Measured:      l1.MissRatio(),
+			}
+			wr.OK = wr.Measured >= wr.PredictedLow-LevelTolerance &&
+				wr.Measured <= wr.PredictedHigh+LevelTolerance
+			if !wr.OK {
+				rr.Failures++
+			}
+			rr.WholeRun = wr
+		}
+	}
+	return rr
+}
+
+// histsMatch compares the static per-execution histogram, scaled by the
+// execution count, against the dynamic total.
+func histsMatch(static ReuseHist, dyn ReuseHist, execs uint64) (bool, string) {
+	if want := static.N * execs; dyn.N != want {
+		return false, fmt.Sprintf("access count: dynamic %d, static %d×%d=%d",
+			dyn.N, static.N, execs, want)
+	}
+	tol := uint64(HistTolerance * float64(dyn.N))
+	diff := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	if d := diff(dyn.Cold, static.Cold*execs); d > tol {
+		return false, fmt.Sprintf("cold misses: dynamic %d, static %d (Δ%d > %d)",
+			dyn.Cold, static.Cold*execs, d, tol)
+	}
+	for b := range static.Buckets {
+		if d := diff(dyn.Buckets[b], static.Buckets[b]*execs); d > tol {
+			return false, fmt.Sprintf("bucket 2^%d: dynamic %d, static %d (Δ%d > %d)",
+				b, dyn.Buckets[b], static.Buckets[b]*execs, d, tol)
+		}
+	}
+	return true, ""
+}
+
+// checkFirstTrace replays the retained first-execution trace through the
+// batch analyzer and checks it against both the incremental histogram and
+// the static prediction.
+func (tc *TraceChecker) checkFirstTrace(np *NestPrediction, nd *nestDyn) (bool, string) {
+	if !nd.firstDone || nd.firstTrace == nil {
+		return true, "" // capture dropped (trace too large): nothing to check
+	}
+	ft := reuse.FromTrace(nd.firstTrace)
+	if ft.N != nd.firstHist.N || ft.Cold != nd.firstHist.Cold || ft.Hist != nd.firstHist.Buckets {
+		return false, "FromTrace replay diverged from incremental observation"
+	}
+	if ok, detail := histsMatch(np.Total, nd.firstHist, 1); !ok {
+		return false, "first execution vs static: " + detail
+	}
+	return true, ""
+}

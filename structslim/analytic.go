@@ -1,0 +1,253 @@
+package structslim
+
+// analytic.go — analytic phase synthesis: when every loop of a phase is
+// exact tier (the static planner recovers the full access schedule with
+// closed-form addresses and trip counts), the phase's profile
+// contribution is synthesized by replaying the schedule against an O(1)
+// LRU stack model, skipping both the VM interpreter and the cache
+// simulator. The *real* PEBS sampler is driven with fabricated MemEvents
+// whose IPs, addresses, cycle counts, and instruction counts are exactly
+// those the interpreter would produce — sampling is access-count driven,
+// so the sampled stream is identical and the advice is unchanged. Only
+// the per-access serving level (and hence the sampled latency) comes
+// from the fully-associative stack model instead of the set-associative
+// simulated hierarchy.
+//
+// Gated behind core.Options.AnalyticPhases. The routing is
+// all-or-nothing: any phase outside the exact tier (multithreaded, an
+// ineligible function, IBS mode, a latency filter) falls back to full
+// simulation for the entire run, which is trivially identical.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pebs"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/reuse"
+	"repro/internal/staticlint"
+	"repro/internal/vm"
+)
+
+// planAnalytic decides whether the whole run is analytically synthesizable
+// and returns the per-function plans; the string is the fallback reason
+// when it is not.
+func planAnalytic(p *prog.Program, phases []Phase, opt Options) (map[int]*staticlint.FnPlan, string) {
+	if opt.IBS {
+		return nil, "IBS mode periods off retired instructions"
+	}
+	if opt.MinLatency != 0 {
+		return nil, "PEBS latency filter depends on simulated serving levels"
+	}
+	for pi, ph := range phases {
+		if len(ph) != 1 {
+			return nil, fmt.Sprintf("phase %d runs %d threads", pi, len(ph))
+		}
+	}
+	a, err := staticlint.AnalyzeProgram(p)
+	if err != nil {
+		return nil, err.Error()
+	}
+	plans := make(map[int]*staticlint.FnPlan)
+	for _, ph := range phases {
+		fn := ph[0].Fn
+		if _, ok := plans[fn]; ok {
+			continue
+		}
+		plan := staticlint.PlanFunction(a, fn)
+		if !plan.Eligible {
+			return nil, fmt.Sprintf("%s: %s", plan.FnName, plan.Reason)
+		}
+		plans[fn] = plan
+	}
+	return plans, ""
+}
+
+// analyticReplay holds the run-wide synthesis state: the stack model and
+// the fabricated cache counters persist across phases, exactly as the
+// machine's hierarchy does.
+type analyticReplay struct {
+	bases     []uint64
+	lineShift uint
+	sm        *reuse.StackModel
+	latencies []uint32 // per band; last entry is memory
+	sampler   *pebs.Sampler
+	tid       int
+
+	// Per-phase thread counters (reset each phase, like vm.Run's fresh
+	// threads).
+	instrs, cycles, overhead, memops uint64
+
+	// Cumulative fabricated hierarchy counters.
+	levels         []cache.LevelStats
+	demandAccesses uint64
+}
+
+func (ar *analyticReplay) runItems(items []staticlint.PlanItem, k []int64) {
+	for i := range items {
+		it := &items[i]
+		switch {
+		case it.Access != nil:
+			ar.access(it.Access, k)
+		case it.Loop != nil:
+			lp := it.Loop
+			for ki := int64(0); ki < lp.Trips; ki++ {
+				ar.instrs += lp.HeadInstrs
+				ar.cycles += lp.HeadCycles
+				k[lp.Depth] = ki
+				ar.runItems(lp.Body, k)
+			}
+			// The final failing bound check.
+			ar.instrs += lp.HeadInstrs
+			ar.cycles += lp.HeadCycles
+		default:
+			ar.instrs += it.Instrs
+			ar.cycles += it.Cycles
+		}
+	}
+}
+
+func (ar *analyticReplay) access(tpl *staticlint.AccessTpl, k []int64) {
+	ea := int64(ar.bases[tpl.GlobalIx]) + tpl.Disp
+	for d, c := range tpl.Coeff {
+		ea += c * k[d]
+	}
+	band := ar.sm.Touch(uint64(ea) >> ar.lineShift)
+	lat := ar.latencies[band]
+
+	// Mirror the interpreter's accounting order: opcode cost, then the
+	// hierarchy latency; the event carries the thread clock and retired
+	// count including the current instruction.
+	ar.instrs++
+	ar.memops++
+	ar.cycles += vm.CostOf(isa.Load) + uint64(lat)
+
+	ar.demandAccesses++
+	for l := range ar.levels {
+		if band < l {
+			break
+		}
+		ar.levels[l].Accesses++
+		if band == l {
+			ar.levels[l].Hits++
+		} else {
+			ar.levels[l].Misses++
+		}
+	}
+
+	ev := vm.MemEvent{
+		TID:     ar.tid,
+		IP:      tpl.IP,
+		EA:      uint64(ea),
+		Size:    tpl.Size,
+		Write:   tpl.Write,
+		Latency: lat,
+		Level:   uint8(band + 1),
+		Cycle:   ar.cycles + ar.overhead,
+		Instrs:  ar.instrs,
+		Ctx:     0, // exact-tier functions are call-free
+	}
+	ar.overhead += ar.sampler.OnAccess(&ev)
+}
+
+// analyticProfileRun synthesizes the whole profiled run. The bool reports
+// whether synthesis applied; (nil, false, nil) means the caller must fall
+// back to full simulation.
+func analyticProfileRun(p *prog.Program, phases []Phase, opt Options) (*RunResult, bool, error) {
+	plans, _ := planAnalytic(p, phases, opt)
+	if plans == nil {
+		return nil, false, nil
+	}
+	cfg := opt.cacheConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+
+	// Replicate the loader's address space so the sampler's data-centric
+	// attribution sees the same objects at the same addresses.
+	space := mem.NewSpace()
+	bases := make([]uint64, len(p.Globals))
+	var lastEnd uint64
+	for gi, g := range p.Globals {
+		o := space.AllocStatic(g.Name, uint64(g.Size), g.TypeID, gi)
+		bases[gi] = o.Base
+		lastEnd = o.Base + o.Size
+	}
+
+	caps := make([]uint64, len(cfg.Levels))
+	lats := make([]uint32, len(cfg.Levels)+1)
+	for i, lv := range cfg.Levels {
+		caps[i] = uint64(lv.Size) / uint64(cfg.LineSize)
+		lats[i] = uint32(lv.Latency)
+	}
+	lats[len(cfg.Levels)] = uint32(cfg.MemLatency)
+
+	ar := &analyticReplay{
+		bases:     bases,
+		sm:        reuse.NewStackModel(caps),
+		latencies: lats,
+		sampler:   pebs.NewSampler(opt.samplerConfig(), space, maxThreads(phases)),
+		levels:    make([]cache.LevelStats, len(cfg.Levels)),
+	}
+	for i, lv := range cfg.Levels {
+		ar.levels[i].Name = lv.Name
+	}
+	for sz := cfg.LineSize; sz > 1; sz >>= 1 {
+		ar.lineShift++
+	}
+	if len(p.Globals) > 0 {
+		lo := bases[0] >> ar.lineShift
+		ar.sm.Prime(lo, (lastEnd>>ar.lineShift)-lo+1)
+	}
+
+	var total vm.Stats
+	var thread vm.ThreadStats
+	for _, ph := range phases {
+		plan := plans[ph[0].Fn]
+		ar.tid = 0
+		ar.instrs, ar.cycles, ar.overhead, ar.memops = 0, 0, 0, 0
+		k := make([]int64, planDepth(plan.Items))
+		ar.runItems(plan.Items, k)
+
+		total.Instrs += ar.instrs
+		total.MemOps += ar.memops
+		total.WallCycles += ar.cycles + ar.overhead
+		total.AppWallCycles += ar.cycles
+		thread.Cycles += ar.cycles
+		thread.OverheadCycles += ar.overhead
+		thread.Instrs += ar.instrs
+		thread.MemOps += ar.memops
+	}
+	total.PerThread = []vm.ThreadStats{thread}
+	total.Cache = cache.Stats{
+		Levels:         append([]cache.LevelStats(nil), ar.levels...),
+		DemandAccesses: ar.demandAccesses,
+	}
+
+	tps := ar.sampler.Finish(total)
+	merged, err := profile.ReduceThreadProfiles(tps, opt.MergeWorkers)
+	if err != nil {
+		return nil, false, err
+	}
+	return &RunResult{Stats: total, Profile: merged, ThreadProfiles: tps}, true, nil
+}
+
+// planDepth returns the iteration-vector length a plan needs (loop Depths
+// are absolute).
+func planDepth(items []staticlint.PlanItem) int {
+	d := 0
+	for i := range items {
+		if lp := items[i].Loop; lp != nil {
+			if lp.Depth+1 > d {
+				d = lp.Depth + 1
+			}
+			if n := planDepth(lp.Body); n > d {
+				d = n
+			}
+		}
+	}
+	return d
+}

@@ -194,9 +194,19 @@ func Run(p *prog.Program, phases []Phase, opt Options) (vm.Stats, error) {
 }
 
 // ProfileRun executes the program with the PEBS-style sampler attached
-// and returns the run statistics plus the merged profile.
+// and returns the run statistics plus the merged profile. With
+// Options.Analysis.AnalyticPhases set, runs whose every phase is exact
+// tier are synthesized analytically (see analytic.go) instead of
+// simulated; anything else falls back to the machine.
 func ProfileRun(p *prog.Program, phases []Phase, opt Options) (*RunResult, error) {
 	phases = normalizePhases(p, phases)
+	if opt.Analysis.AnalyticPhases {
+		if res, ok, err := analyticProfileRun(p, phases, opt); err != nil {
+			return nil, err
+		} else if ok {
+			return res, nil
+		}
+	}
 	m, err := vm.NewMachine(p, opt.cacheConfig(), coresFor(phases, opt.Cores), opt.VM)
 	if err != nil {
 		return nil, err
