@@ -13,6 +13,15 @@
 //	    -gate -baseline BENCH_4.json \
 //	    -bench BenchmarkARTProfile/fastpath -metric x-vs-reference \
 //	    -higher-is-better -max-regress 15
+//
+// Repeated runs of the same benchmark (go test -count=N) merge into one
+// entry holding the best value per metric, with the observed run-to-run
+// spread recorded alongside — gating on a single noisy run trips the
+// regression threshold on variance, not on regressions.
+//
+// -geomean prefix:metric synthesizes a `<prefix>/geomean` entry from all
+// sub-benchmarks carrying that metric, so a suite-wide speedup can be
+// gated as one number instead of per-workload.
 package main
 
 import (
@@ -21,14 +30,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Schema identifies the JSON document format.
-const Schema = "structslim-bench/1"
+// Schema identifies the JSON document format. Version 2 adds the
+// best-of-N fields (runs, spread) and geomean entries; version-1
+// baselines still decode — the new fields just read as absent.
+const Schema = "structslim-bench/2"
 
 // Doc is the top-level JSON document.
 type Doc struct {
@@ -36,12 +48,17 @@ type Doc struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// Benchmark is one benchmark result line. Metrics maps unit → value
-// (ns/op, B/op, allocs/op, and any custom b.ReportMetric units).
+// Benchmark is one benchmark result, possibly merged from several runs.
+// Metrics maps unit → value (ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units); with Runs > 1 each value is the best observed
+// and Spread records the run-to-run variation per unit, (max−min)/min in
+// percent.
 type Benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	Runs       int                `json:"runs,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Spread     map[string]float64 `json:"spread,omitempty"`
 }
 
 func main() {
@@ -54,6 +71,7 @@ func main() {
 		metric    = flag.String("metric", "ns/op", "metric unit to gate on")
 		higher    = flag.Bool("higher-is-better", false, "metric improves upward (speedups) rather than downward (times)")
 		maxReg    = flag.Float64("max-regress", 15, "max tolerated regression, percent")
+		geo       = flag.String("geomean", "", "prefix:metric — synthesize a <prefix>/geomean entry over matching sub-benchmarks")
 	)
 	flag.Parse()
 
@@ -68,6 +86,12 @@ func main() {
 	fail(err)
 	if len(benches) == 0 {
 		fail(fmt.Errorf("no benchmark lines found in input"))
+	}
+	benches = mergeRuns(benches)
+	if *geo != "" {
+		gm, err := synthGeomean(benches, *geo)
+		fail(err)
+		benches = append(benches, gm)
 	}
 	doc := Doc{Schema: Schema, Benchmarks: benches}
 
@@ -124,6 +148,142 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// lowerIsBetter classifies a metric unit by its direction of goodness:
+// times and per-op costs (ns/op, B/op, allocs/op, anything ns/… or …/op)
+// improve downward; everything else — the custom speedup ratios this repo
+// reports (x-vs-reference, x-vs-serial) — improves upward.
+func lowerIsBetter(unit string) bool {
+	return strings.Contains(unit, "ns/") || strings.HasSuffix(unit, "/op")
+}
+
+// mergeRuns collapses repeated result lines for the same benchmark
+// (go test -count=N) into one best-of-N entry, preserving first-seen
+// order. Per metric it keeps the best value by the unit's direction and
+// records the run-to-run spread, (max−min)/min in percent — a single
+// noisy run showing up as a 13% swing in the record rather than a
+// mystery gate failure later.
+func mergeRuns(benches []Benchmark) []Benchmark {
+	byName := make(map[string]int)
+	var out []Benchmark
+	for _, b := range benches {
+		i, seen := byName[b.Name]
+		if !seen {
+			byName[b.Name] = len(out)
+			b.Runs = 1
+			out = append(out, b)
+			continue
+		}
+		m := &out[i]
+		m.Runs++
+		if b.Iterations > m.Iterations {
+			m.Iterations = b.Iterations
+		}
+		if m.Spread == nil {
+			m.Spread = map[string]float64{}
+			for unit := range m.Metrics {
+				m.Spread[unit] = 0
+			}
+		}
+		for unit, v := range b.Metrics {
+			best, ok := m.Metrics[unit]
+			if !ok {
+				m.Metrics[unit] = v
+				m.Spread[unit] = 0
+				continue
+			}
+			// Spread tracks over the raw observations: recover the
+			// current worst from best and spread, then fold v in.
+			lo, hi := best, best
+			if s := m.Spread[unit]; s > 0 && best != 0 {
+				if lowerIsBetter(unit) {
+					hi = best * (1 + s/100)
+				} else {
+					lo = best / (1 + s/100)
+				}
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if lowerIsBetter(unit) {
+				m.Metrics[unit] = lo
+			} else {
+				m.Metrics[unit] = hi
+			}
+			if lo != 0 {
+				m.Spread[unit] = (hi - lo) / lo * 100
+			}
+		}
+	}
+	return out
+}
+
+// synthGeomean builds a geomean entry from spec "pattern:metric". A plain
+// prefix matches every benchmark named `prefix/...` and the entry is
+// named `prefix/geomean`; a pattern with `*` path components (e.g.
+// `BenchmarkWorkloadSweep/*/statistical`) matches component-wise, which
+// selects one engine variant out of a sweep whose sub-benchmarks all
+// report the same unit, and the entry drops the wildcard components:
+// `BenchmarkWorkloadSweep/statistical/geomean`. The geometric mean is the
+// right aggregate for ratios: one workload's outlier speedup cannot mask
+// a suite-wide regression.
+func synthGeomean(benches []Benchmark, spec string) (Benchmark, error) {
+	i := strings.LastIndexByte(spec, ':')
+	if i <= 0 || i == len(spec)-1 {
+		return Benchmark{}, fmt.Errorf("-geomean wants pattern:metric, got %q", spec)
+	}
+	pattern, metric := spec[:i], spec[i+1:]
+	match := func(name string) bool { return strings.HasPrefix(name, pattern+"/") }
+	entryName := pattern + "/geomean"
+	if strings.Contains(pattern, "*") {
+		comps := strings.Split(pattern, "/")
+		match = func(name string) bool {
+			parts := strings.Split(name, "/")
+			if len(parts) != len(comps) {
+				return false
+			}
+			for j, c := range comps {
+				if c != "*" && c != parts[j] {
+					return false
+				}
+			}
+			return true
+		}
+		var kept []string
+		for _, c := range comps {
+			if c != "*" {
+				kept = append(kept, c)
+			}
+		}
+		entryName = strings.Join(append(kept, "geomean"), "/")
+	}
+	logSum, n := 0.0, 0
+	for _, b := range benches {
+		if !match(b.Name) {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if v <= 0 {
+			return Benchmark{}, fmt.Errorf("%s %s = %g: geomean needs positive values", b.Name, metric, v)
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return Benchmark{}, fmt.Errorf("no benchmark matching %s carries metric %q", pattern, metric)
+	}
+	return Benchmark{
+		Name:    entryName,
+		Runs:    n,
+		Metrics: map[string]float64{metric: math.Exp(logSum / float64(n))},
+	}, nil
 }
 
 func find(doc Doc, name, metric string) (float64, error) {

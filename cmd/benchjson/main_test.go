@@ -33,6 +33,115 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestLowerIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": true, "B/op": true, "allocs/op": true, "ns/sample": true,
+		"x-vs-reference": false, "x-vs-serial": false, "speedup": false,
+	} {
+		if got := lowerIsBetter(unit); got != want {
+			t.Errorf("lowerIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestMergeRunsBestOfN replays a -count=3 stream: the merged entry must
+// keep the best value per metric by direction (min ns/op, max speedup)
+// and record the full observed spread — including the 1.80→1.59 style
+// swing that motivated best-of-N gating.
+func TestMergeRunsBestOfN(t *testing.T) {
+	runs := []Benchmark{
+		{Name: "BenchmarkARTProfile/fastpath", Iterations: 10, Metrics: map[string]float64{"ns/op": 100e6, "x-vs-reference": 1.80}},
+		{Name: "BenchmarkOther", Iterations: 5, Metrics: map[string]float64{"ns/op": 50e6}},
+		{Name: "BenchmarkARTProfile/fastpath", Iterations: 12, Metrics: map[string]float64{"ns/op": 113e6, "x-vs-reference": 1.59}},
+		{Name: "BenchmarkARTProfile/fastpath", Iterations: 11, Metrics: map[string]float64{"ns/op": 104e6, "x-vs-reference": 1.71}},
+	}
+	out := mergeRuns(runs)
+	if len(out) != 2 {
+		t.Fatalf("merged into %d entries, want 2: %+v", len(out), out)
+	}
+	m := out[0]
+	if m.Name != "BenchmarkARTProfile/fastpath" || m.Runs != 3 || m.Iterations != 12 {
+		t.Fatalf("merged header wrong: %+v", m)
+	}
+	if m.Metrics["ns/op"] != 100e6 {
+		t.Errorf("best ns/op = %g, want min 100e6", m.Metrics["ns/op"])
+	}
+	if m.Metrics["x-vs-reference"] != 1.80 {
+		t.Errorf("best x-vs-reference = %g, want max 1.80", m.Metrics["x-vs-reference"])
+	}
+	if got, want := m.Spread["ns/op"], 13.0; got < want-0.01 || got > want+0.01 {
+		t.Errorf("ns/op spread = %.2f%%, want ~%.0f%%", got, want)
+	}
+	if got, want := m.Spread["x-vs-reference"], (1.80-1.59)/1.59*100; got < want-0.01 || got > want+0.01 {
+		t.Errorf("x-vs-reference spread = %.2f%%, want ~%.2f%%", got, want)
+	}
+	if out[1].Runs != 1 || out[1].Spread != nil {
+		t.Errorf("single-run entry grew spread bookkeeping: %+v", out[1])
+	}
+}
+
+func TestSynthGeomean(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkWorkloadSweep/art/statistical", Metrics: map[string]float64{"x-vs-reference": 2.0}},
+		{Name: "BenchmarkWorkloadSweep/health/statistical", Metrics: map[string]float64{"x-vs-reference": 8.0}},
+		{Name: "BenchmarkWorkloadSweep/art/fastpath", Metrics: map[string]float64{"ns/op": 1e6}},
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"x-vs-reference": 100}},
+	}
+	gm, err := synthGeomean(benches, "BenchmarkWorkloadSweep:x-vs-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Name != "BenchmarkWorkloadSweep/geomean" || gm.Runs != 2 {
+		t.Fatalf("geomean entry wrong: %+v", gm)
+	}
+	if v := gm.Metrics["x-vs-reference"]; v < 3.999 || v > 4.001 {
+		t.Errorf("geomean(2, 8) = %g, want 4", v)
+	}
+	if _, err := synthGeomean(benches, "BenchmarkNothing:x-vs-reference"); err == nil {
+		t.Error("empty match set did not error")
+	}
+	if _, err := synthGeomean(benches, "no-colon"); err == nil {
+		t.Error("malformed spec did not error")
+	}
+}
+
+// TestSynthGeomeanGlob selects one engine variant out of a sweep whose
+// sub-benchmarks all report the same unit.
+func TestSynthGeomeanGlob(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkWorkloadSweep/art/statistical", Metrics: map[string]float64{"x-vs-reference": 3.0}},
+		{Name: "BenchmarkWorkloadSweep/health/statistical", Metrics: map[string]float64{"x-vs-reference": 12.0}},
+		{Name: "BenchmarkWorkloadSweep/art/fastpath", Metrics: map[string]float64{"x-vs-reference": 1.7}},
+		{Name: "BenchmarkWorkloadSweep/health/fastpath", Metrics: map[string]float64{"x-vs-reference": 1.6}},
+	}
+	gm, err := synthGeomean(benches, "BenchmarkWorkloadSweep/*/statistical:x-vs-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Name != "BenchmarkWorkloadSweep/statistical/geomean" || gm.Runs != 2 {
+		t.Fatalf("glob geomean entry wrong: %+v", gm)
+	}
+	if v := gm.Metrics["x-vs-reference"]; v < 5.999 || v > 6.001 {
+		t.Errorf("geomean(3, 12) = %g, want 6 (fastpath entries must not dilute)", v)
+	}
+}
+
+// TestGateReadsV1Baseline pins schema compatibility: a version-1 baseline
+// (no runs/spread fields) must still gate against a v2 candidate.
+func TestGateReadsV1Baseline(t *testing.T) {
+	raw := []byte(`{"schema":"structslim-bench/1","benchmarks":[{"name":"BenchmarkX","iterations":1,"metrics":{"speedup":2.0}}]}`)
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := Doc{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Runs: 3, Metrics: map[string]float64{"speedup": 2.1}, Spread: map[string]float64{"speedup": 4}},
+	}}
+	if err := runGate(cur, path, "BenchmarkX", "speedup", true, 15); err != nil {
+		t.Errorf("v1 baseline failed to gate: %v", err)
+	}
+}
+
 func TestMissingMetrics(t *testing.T) {
 	base := Doc{Benchmarks: []Benchmark{
 		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1, "speedup": 2}},

@@ -31,6 +31,7 @@ func main() {
 		figure   = flag.Int("figure", 0, "regenerate one figure (4-13)")
 		accuracy = flag.Bool("accuracy", false, "run the Equation 4 accuracy study")
 		robust   = flag.Bool("robustness", false, "run the sampling-period robustness sweep on ART")
+		statErr  = flag.Bool("staterror", false, "run the statistical-mode fidelity sweep (advice error vs window W)")
 		baseline = flag.Bool("baselines", false, "compare sampling against instrumentation baselines on ART")
 		cases    = flag.Bool("casestudies", false, "run the beyond-paper case studies (mcf, streamcluster)")
 		scale    = flag.String("scale", "test", "problem scale: test or bench")
@@ -134,6 +135,12 @@ func main() {
 		tables.WriteRobustness(out, "art", rows)
 		fmt.Fprintln(out)
 	}
+	if *all || *statErr {
+		rows, err := eng.StatErrorSweep([]int{32, 64, 128, 256})
+		fail(err)
+		tables.WriteStatError(out, rows)
+		fmt.Fprintln(out)
+	}
 	if *all || *baseline {
 		rows, err := eng.BaselineComparison("art")
 		fail(err)
@@ -144,7 +151,7 @@ func main() {
 		fail(eng.CaseStudies(out))
 	}
 
-	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*baseline && !*cases {
+	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*statErr && !*baseline && !*cases {
 		stopProfiles()
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -figure N, or -accuracy")
 		os.Exit(2)

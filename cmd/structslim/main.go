@@ -70,6 +70,10 @@ func main() {
 		dump     = flag.Bool("dump", false, "print the workload's disassembly and recovered loop structure, then exit")
 		cfgDot   = flag.String("cfg-dot", "", "write the named function's CFG as dot to this file (with -dump)")
 		cfgFn    = flag.String("cfg-fn", "main", "function for -cfg-dot")
+		stat     = flag.Bool("statistical", false, "statistical mode: fully simulate only sampled windows, fast-forward between them (prints an error report)")
+		statWin  = flag.Int("stat-window", 0, "per-sample warmup window W in accesses for -statistical (0 = default)")
+		par      = flag.Bool("parallel", false, "run eligible multithreaded phases on per-core interpreter goroutines (results identical to serial)")
+		workers  = flag.Int("workers", 0, "goroutine bound for -parallel (0 = one per simulated core)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,10 @@ func main() {
 		Seed:         *seed,
 		Analysis:     core.Options{TopK: *topK, AffinityThreshold: *thresh},
 	}
+	opt.Analysis.Statistical = *stat
+	opt.Analysis.StatWindow = *statWin
+	opt.VM.Parallel = *par
+	opt.VM.Workers = *workers
 
 	p, phases, err := w.Build(nil, sc)
 	fail(err)
@@ -156,6 +164,17 @@ func main() {
 	rep.RenderText(os.Stdout)
 	fmt.Printf("Run: %d instructions, %d memory accesses, %d app cycles, overhead %.2f%%\n",
 		res.Stats.Instrs, res.Stats.MemOps, res.Stats.AppWallCycles, res.Stats.OverheadPct())
+	if res.Stat != nil {
+		fmt.Println()
+		res.Stat.RenderText(os.Stdout)
+	}
+	if *par {
+		if res.Parallel.Engaged {
+			fmt.Printf("parallel engine: engaged, %d quantum rounds\n", res.Parallel.Rounds)
+		} else {
+			fmt.Printf("parallel engine: not engaged (fallbacks: %v)\n", res.Parallel.Fallbacks)
+		}
+	}
 
 	if *profDir != "" {
 		fail(profile.WriteDir(*profDir, res.ThreadProfiles))

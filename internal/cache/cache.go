@@ -127,6 +127,15 @@ type level struct {
 	nsets    uint64
 	setMask  uint64 // nsets-1 when nsets is a power of two, else 0
 	lruClock uint64
+	// decay, when nonzero, ages lines out of the level: a hit on a line
+	// whose lru stamp trails lruClock by more than decay is treated as a
+	// miss (the line is dropped). Statistical fast-forward advances
+	// lruClock by the accesses it skips (Hierarchy.Age), so decay models
+	// the evictions those unsimulated accesses would have caused; the
+	// threshold is the level's capacity in lines, the point at which a
+	// global-LRU replacement would have cycled the whole level. Zero
+	// (exact mode) leaves lookup behavior untouched.
+	decay uint64
 
 	Accesses uint64
 	Hits     uint64
@@ -161,12 +170,26 @@ func (l *level) lookup(tag uint64) *line {
 	set := l.sets[l.setOf(tag)]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
+			if l.decay != 0 && l.lruClock-set[i].lru > l.decay {
+				// Aged out across a statistical fast-forward: the skipped
+				// accesses would have evicted this line. Dropping it keeps
+				// fill's invariant that invalid ways carry lru 0.
+				set[i].valid = false
+				set[i].lru = 0
+				return nil
+			}
 			l.lruClock++
 			set[i].lru = l.lruClock
 			return &set[i]
 		}
 	}
 	return nil
+}
+
+// aged reports whether a line found by peek has decayed (read-only form
+// of lookup's aging check, for paths that must not mutate the level).
+func (l *level) aged(ln *line) bool {
+	return l.decay != 0 && l.lruClock-ln.lru > l.decay
 }
 
 // peek is lookup without touching LRU state (used by coherence probes).

@@ -239,8 +239,11 @@ func (h *Hierarchy) Access(core int, pc, addr uint64, size int, write bool) Resu
 		// to to agree on the tag (any eviction or invalidation since the
 		// entry was written breaks one of the two), and takes writes only
 		// on lines no other core holds: a write hit on a shared line must
-		// probe the directory, which is the full path's job.
-		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag && (!write || !e.ln.shared) {
+		// probe the directory, which is the full path's job. Lines aged
+		// out by a statistical fast-forward fall into the full path too,
+		// which retires them.
+		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag && (!write || !e.ln.shared) &&
+			!h.inst(0, core).aged(e.ln) {
 			return h.hotHit(core, addr, pc, e.ln, write)
 		}
 	}
@@ -523,6 +526,48 @@ func (h *Hierarchy) noteDirectoryFill(core int, tag uint64) {
 
 func (h *Hierarchy) clearDirectoryBit(core int, tag uint64) {
 	h.directory.clearBit(tag, 1<<uint(core))
+}
+
+// --- Statistical fast-forward aging ---------------------------------------
+
+// EnableDecay arms line aging for statistical (sampled-window) runs: each
+// level treats lines untouched for more than its capacity in lines as
+// evicted (see level.decay). Exact runs never call this, so their lookup
+// path is unchanged. Idempotent.
+func (h *Hierarchy) EnableDecay() {
+	for _, insts := range h.levels {
+		for _, inst := range insts {
+			inst.decay = inst.nsets * uint64(inst.cfg.Assoc)
+		}
+	}
+}
+
+// Age accounts for skipped accesses by one core during a statistical
+// fast-forward: each level's LRU clock advances by the number of those
+// accesses the level would have seen, estimated from the level's observed
+// share of traffic so far (L1 sees every access; deeper levels see their
+// running miss-chain fraction). Combined with EnableDecay, lines the
+// skipped accesses would plausibly have evicted then age out on their
+// next touch instead of serving stale hits.
+func (h *Hierarchy) Age(core int, skipped uint64) {
+	l1 := h.inst(0, core)
+	for li := range h.levels {
+		inst := h.inst(li, core)
+		est := skipped
+		if li > 0 {
+			base := l1.Accesses
+			if h.cfg.Levels[li].Shared {
+				// Shared instances aggregate every core's traffic; scale
+				// by the whole hierarchy's demand stream instead.
+				base = h.demandAccesses
+			}
+			if base == 0 {
+				continue
+			}
+			est = skipped * inst.Accesses / base
+		}
+		inst.lruClock += est
+	}
 }
 
 // --- Prefetcher ----------------------------------------------------------

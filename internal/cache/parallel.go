@@ -1,0 +1,507 @@
+package cache
+
+// parallel.go partitions the hierarchy for the vm's parallel engine.
+//
+// One ParallelSession per hierarchy hands out a CoreCache per core. While
+// thread quanta execute concurrently, each CoreCache mirrors
+// Hierarchy.Access against a split view of the state:
+//
+//   - Private levels, the per-core TLB, prefetcher, and hot/deep shadows
+//     belong to one core and mutate freely.
+//   - Shared levels and the directory are read-only (peek/get); every
+//     mutation they would need — LRU touches, fills, write-invalidate
+//     probes, read downgrades, directory updates — is queued as a
+//     deferred op.
+//   - Global counters accumulate in per-core deltas.
+//
+// At the quantum barrier, Merge applies every core's queued ops in fixed
+// core order (and, within a core, program order) using the hierarchy's
+// own sequential machinery, then folds the counter deltas in. The result
+// is a deterministic lax-coherence semantics: within a quantum each core
+// sees shared state as of the quantum start, and cross-core effects
+// become visible at the barrier. Determinism holds at any host
+// parallelism because nothing depends on goroutine scheduling — only on
+// the fixed merge order.
+//
+// One deliberate divergence from the sequential protocol: two cores that
+// fill the same line in the same quantum each see the directory without
+// the other and would both hold the line exclusive. Merge detects this
+// when it applies the directory fills (the second core's fill finds the
+// first core's bit already set) and conservatively marks every private
+// copy of the line shared — silently, with no downgrade event or counter,
+// since no sequential-order downgrade happened — so later writes probe
+// the directory as the protocol requires.
+
+// deferred-op kinds, applied at the barrier in queue order.
+const (
+	opSharedTouch  uint8 = iota // LRU-touch a shared-level hit (dirty: it was a write)
+	opSharedFill                // demand fill into a shared level
+	opPrefetchFill              // prefetch fill into shared levels and below
+	opWriteProbe                // write-invalidate other cores' private copies
+	opDowngrade                 // demote other cores' exclusive copies to shared
+	opDirOr                     // record private-fill occupancy in the directory
+	opDirClear                  // drop occupancy after a deepest-private eviction
+)
+
+// mergeOp is one deferred shared-state mutation.
+type mergeOp struct {
+	kind   uint8
+	li     uint8 // level index for touch/fill ops
+	dirty  bool
+	shared bool
+	tag    uint64
+	addr   uint64 // accessing address for coherence events (0 for prefetch)
+}
+
+// lvlDelta accumulates one shared level's demand counters for one core.
+type lvlDelta struct {
+	accesses, hits, misses uint64
+}
+
+// CoreCache is one core's handle on the hierarchy during a concurrent
+// quantum. It must only be used by one goroutine at a time, and Merge
+// must run between quanta.
+type CoreCache struct {
+	h    *Hierarchy
+	core int
+
+	ops []mergeOp
+
+	// Deltas of the hierarchy's global counters.
+	demandAccesses uint64
+	invalidations  uint64
+	writeBacks     uint64
+	prefetchIssued uint64
+	lvl            []lvlDelta // indexed by level; used for shared levels
+
+	// sharedAge accumulates statistical fast-forward aging of the shared
+	// levels (Age); the clock advance lands at the barrier so shared
+	// state stays read-only during the quantum.
+	sharedAge []uint64
+
+	// issued memoizes line tags whose prefetch fill is already queued this
+	// quantum (epoch). Deferred shared fills are invisible to
+	// prefetchPresent until the barrier, so without the memo a confident
+	// stride would re-issue the same lines all quantum long — and
+	// duplicate fills of one tag into one set would corrupt the level.
+	issued map[uint64]uint64
+	epoch  uint64
+
+	// l1Line mirrors Hierarchy.l1Line for the hot-line shadow update.
+	l1Line *line
+}
+
+// ParallelSession owns the per-core handles for one hierarchy.
+type ParallelSession struct {
+	h     *Hierarchy
+	cores []*CoreCache
+}
+
+// NewParallelSession prepares per-core handles for concurrent quanta.
+func (h *Hierarchy) NewParallelSession() *ParallelSession {
+	s := &ParallelSession{h: h}
+	for c := 0; c < h.numCores; c++ {
+		s.cores = append(s.cores, &CoreCache{
+			h: h, core: c, epoch: 1,
+			lvl:       make([]lvlDelta, len(h.levels)),
+			sharedAge: make([]uint64, len(h.levels)),
+			issued:    make(map[uint64]uint64),
+		})
+	}
+	return s
+}
+
+// Core returns the handle for one core.
+func (s *ParallelSession) Core(c int) *CoreCache { return s.cores[c] }
+
+func (cc *CoreCache) push(op mergeOp) { cc.ops = append(cc.ops, op) }
+
+// Access mirrors Hierarchy.Access for one core during a concurrent
+// quantum. pc and addr as there; accesses spanning two lines are charged
+// to the first line.
+func (cc *CoreCache) Access(pc, addr uint64, size int, write bool) Result {
+	h := cc.h
+	tag := addr >> h.lineShift
+	if h.hot != nil {
+		e := &h.hot[cc.core][tag&hotMask]
+		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag && (!write || !e.ln.shared) &&
+			!h.inst(0, cc.core).aged(e.ln) {
+			return cc.hotHit(addr, pc, e.ln, write)
+		}
+	}
+	cc.demandAccesses++
+	cc.l1Line = nil
+
+	res := cc.accessLine(tag, addr, write)
+	if h.hot != nil && cc.l1Line != nil {
+		h.hot[cc.core][tag&hotMask] = hotEntry{tag: tag, ln: cc.l1Line}
+	}
+	if h.tlbs != nil {
+		res.Latency += uint32(h.tlbs[cc.core].access(addr))
+	}
+	if h.prefetchers != nil {
+		cc.trainPrefetcher(pc, addr)
+	}
+	return res
+}
+
+// hotHit mirrors Hierarchy.hotHit. The shadow only matches lines in the
+// core's own L1, and only takes writes on non-shared lines, so every
+// mutation here is core-private.
+func (cc *CoreCache) hotHit(addr, pc uint64, ln *line, write bool) Result {
+	h := cc.h
+	cc.demandAccesses++
+	l1 := h.inst(0, cc.core)
+	l1.Accesses++
+	l1.Hits++
+	l1.lruClock++
+	ln.lru = l1.lruClock
+	if write {
+		ln.dirty = true
+		ln.shared = false
+	}
+	res := Result{Latency: h.l1Lat, Level: 1}
+	if h.tlbs != nil {
+		res.Latency += uint32(h.tlbs[cc.core].access(addr))
+	}
+	if h.prefetchers != nil {
+		cc.trainPrefetcher(pc, addr)
+	}
+	return res
+}
+
+// accessLine mirrors Hierarchy.accessLine, deferring every shared-state
+// mutation. Queue order tracks the sequential mutation order: probe,
+// fills (deepest first), then the directory note.
+func (cc *CoreCache) accessLine(tag, addr uint64, write bool) Result {
+	h := cc.h
+	hitLevel := -1
+	var hitLine *line
+	for li := range h.levels {
+		if h.cfg.Levels[li].Shared {
+			d := &cc.lvl[li]
+			d.accesses++
+			// An aged line counts as a miss but is not dropped here (shared
+			// state is read-only during the quantum); the queued fill's
+			// barrier-time lookup retires it.
+			lvl := h.levels[li][0]
+			if w := lvl.peek(tag); w != nil && !lvl.aged(w) {
+				hitLevel = li
+				hitLine = w
+				d.hits++
+				cc.push(mergeOp{kind: opSharedTouch, li: uint8(li), tag: tag, dirty: write})
+				break
+			}
+			d.misses++
+		} else {
+			inst := h.inst(li, cc.core)
+			inst.Accesses++
+			if w := inst.lookup(tag); w != nil {
+				hitLevel = li
+				hitLine = w
+				inst.Hits++
+				break
+			}
+			inst.Misses++
+		}
+	}
+
+	latency := 0
+	servedBy := len(h.levels) + 1 // memory
+	if hitLevel >= 0 {
+		latency = h.cfg.Levels[hitLevel].Latency
+		servedBy = hitLevel + 1
+	} else {
+		latency = h.cfg.MemLatency
+	}
+
+	if write && h.coherent {
+		if hitLine != nil && hitLevel < len(h.levels) && !h.cfg.Levels[hitLevel].Shared && !hitLine.shared {
+			// Exclusive in our own private hierarchy: silent upgrade.
+		} else {
+			cc.push(mergeOp{kind: opWriteProbe, tag: tag, addr: addr})
+		}
+	}
+
+	fillTo := hitLevel
+	if fillTo < 0 {
+		fillTo = len(h.levels)
+	}
+	sharedByOthers := false
+	if h.coherent {
+		sharedByOthers = h.heldByOthers(cc.core, tag)
+		if sharedByOthers && !write && fillTo > 0 {
+			cc.push(mergeOp{kind: opDowngrade, tag: tag, addr: addr})
+		}
+	}
+	for li := fillTo - 1; li >= 0; li-- {
+		if h.cfg.Levels[li].Shared {
+			cc.push(mergeOp{kind: opSharedFill, li: uint8(li), tag: tag, addr: addr, dirty: write, shared: sharedByOthers})
+		} else {
+			ln := cc.fillPrivate(li, tag, write, sharedByOthers)
+			if li == 0 {
+				cc.l1Line = ln
+			}
+		}
+	}
+	if hitLevel == 0 {
+		cc.l1Line = hitLine
+	}
+	// A hit line may still need its dirty bit set on writes; for a shared
+	// level the touch op queued above carries the write.
+	if hitLine != nil && write && !h.cfg.Levels[hitLevel].Shared {
+		hitLine.dirty = true
+		hitLine.shared = false
+	}
+	if h.coherent && hitLevel != 0 {
+		cc.push(mergeOp{kind: opDirOr, tag: tag})
+	}
+
+	return Result{Latency: uint32(latency), Level: uint8(servedBy)}
+}
+
+// fillPrivate mirrors the private branch of Hierarchy.fillLevel: the
+// eviction fallout stays within the core's own levels, except the
+// directory update, which is deferred.
+func (cc *CoreCache) fillPrivate(li int, tag uint64, dirty, shared bool) *line {
+	h := cc.h
+	inst := h.inst(li, cc.core)
+	victimTag, evicted, inserted := inst.fill(tag, dirty, shared)
+	if !evicted || victimTag == tag {
+		return inserted
+	}
+	for lj := li - 1; lj >= 0; lj-- {
+		if dirtyWB, present := h.inst(lj, cc.core).invalidate(victimTag); present {
+			cc.invalidations++
+			if dirtyWB {
+				cc.writeBacks++
+			}
+		}
+	}
+	if h.coherent && li == h.lastPriv {
+		cc.push(mergeOp{kind: opDirClear, tag: victimTag})
+	}
+	return inserted
+}
+
+// Age mirrors Hierarchy.Age during a concurrent quantum: the core-owned
+// private levels age immediately, while the shared levels' clock advance
+// accumulates as a delta applied at the barrier, keeping shared state
+// read-only during the quantum. The traffic-share estimates read counters
+// that are frozen until Merge, so the result is schedule-independent.
+func (cc *CoreCache) Age(skipped uint64) {
+	h := cc.h
+	l1 := h.inst(0, cc.core)
+	for li := range h.levels {
+		inst := h.inst(li, cc.core)
+		est := skipped
+		if li > 0 {
+			base := l1.Accesses
+			if h.cfg.Levels[li].Shared {
+				base = h.demandAccesses
+			}
+			if base == 0 {
+				continue
+			}
+			est = skipped * inst.Accesses / base
+		}
+		if h.cfg.Levels[li].Shared {
+			cc.sharedAge[li] += est
+		} else {
+			inst.lruClock += est
+		}
+	}
+}
+
+// trainPrefetcher mirrors Hierarchy.trainPrefetcher on the core's own
+// predictor table.
+func (cc *CoreCache) trainPrefetcher(pc, addr uint64) {
+	h := cc.h
+	t := h.prefetchers[cc.core]
+	e := &t.entries[(pc>>2)%strideTableSize]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < strideConfMin {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return
+	}
+	if e.conf < strideConfMin {
+		return
+	}
+	for d := 1; d <= h.cfg.PrefetchDegree; d++ {
+		next := uint64(int64(addr) + stride*int64(d))
+		tag := next >> h.lineShift
+		if tag == addr>>h.lineShift {
+			continue
+		}
+		if cc.prefetchPresent(tag) {
+			continue
+		}
+		cc.prefetchIssued++
+		cc.prefetchFill(tag)
+	}
+}
+
+// prefetchPresent mirrors Hierarchy.prefetchPresent, additionally
+// treating lines with a fill already queued this quantum as present.
+func (cc *CoreCache) prefetchPresent(tag uint64) bool {
+	h := cc.h
+	if cc.issued[tag] == cc.epoch {
+		return true
+	}
+	if h.deep != nil {
+		e := &h.deep[cc.core][tag&hotMask]
+		if e.tag == tag && e.ln != nil && e.ln.valid && e.ln.tag == tag {
+			return true
+		}
+		ln := h.inst(len(h.levels)-1, cc.core).peek(tag)
+		if ln == nil {
+			return false
+		}
+		h.deep[cc.core][tag&hotMask] = hotEntry{tag: tag, ln: ln}
+		return true
+	}
+	for li := range h.levels {
+		if h.inst(li, cc.core).peek(tag) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// prefetchFill mirrors Hierarchy.prefetchFill: private target levels fill
+// immediately, shared ones at the barrier.
+func (cc *CoreCache) prefetchFill(tag uint64) {
+	h := cc.h
+	start := 1
+	if len(h.levels) == 1 {
+		start = 0
+	}
+	shared := h.coherent && h.heldByOthers(cc.core, tag)
+	for li := len(h.levels) - 1; li >= start; li-- {
+		if h.cfg.Levels[li].Shared {
+			cc.push(mergeOp{kind: opPrefetchFill, li: uint8(li), tag: tag, shared: shared})
+			continue
+		}
+		ln := cc.fillPrivate(li, tag, false, shared)
+		if h.deep != nil && li == len(h.levels)-1 {
+			h.deep[cc.core][tag&hotMask] = hotEntry{tag: tag, ln: ln}
+		}
+	}
+	cc.issued[tag] = cc.epoch
+	if h.coherent && h.lastPriv >= start {
+		cc.push(mergeOp{kind: opDirOr, tag: tag})
+	}
+}
+
+// Merge applies every core's deferred ops in fixed core order and folds
+// the counter deltas in. Must run with no quantum in flight.
+func (s *ParallelSession) Merge() {
+	h := s.h
+	for _, cc := range s.cores {
+		for i := range cc.ops {
+			op := &cc.ops[i]
+			switch op.kind {
+			case opSharedTouch:
+				if w := h.levels[op.li][0].lookup(op.tag); w != nil && op.dirty {
+					w.dirty = true
+					w.shared = false
+				}
+			case opSharedFill:
+				h.curAddr = op.addr
+				if w := h.levels[op.li][0].lookup(op.tag); w != nil {
+					// Another core's earlier op (or our own, after an
+					// intra-quantum re-miss) already filled the line: merge
+					// the flags instead of inserting a duplicate.
+					if op.dirty {
+						w.dirty = true
+					}
+					if op.shared {
+						w.shared = true
+					}
+				} else {
+					h.fillLevel(int(op.li), cc.core, op.tag, op.dirty, op.shared)
+				}
+			case opPrefetchFill:
+				h.curAddr = 0
+				if w := h.levels[op.li][0].peek(op.tag); w != nil {
+					if op.shared {
+						w.shared = true
+					}
+				} else {
+					h.fillLevel(int(op.li), cc.core, op.tag, false, op.shared)
+				}
+			case opWriteProbe:
+				h.curAddr = op.addr
+				h.invalidateOthers(cc.core, op.tag)
+			case opDowngrade:
+				h.curAddr = op.addr
+				h.downgradeOthers(cc.core, op.tag)
+			case opDirOr:
+				if mask := h.directory.get(op.tag); mask&^(1<<uint(cc.core)) != 0 {
+					s.markShared(op.tag, mask|1<<uint(cc.core))
+				}
+				h.noteDirectoryFill(cc.core, op.tag)
+			case opDirClear:
+				h.clearDirectoryBit(cc.core, op.tag)
+			}
+		}
+		cc.ops = cc.ops[:0]
+
+		h.demandAccesses += cc.demandAccesses
+		h.invalidations += cc.invalidations
+		h.writeBacks += cc.writeBacks
+		h.PrefetchIssued += cc.prefetchIssued
+		cc.demandAccesses, cc.invalidations, cc.writeBacks, cc.prefetchIssued = 0, 0, 0, 0
+		for li, a := range cc.sharedAge {
+			if a != 0 {
+				h.levels[li][0].lruClock += a
+				cc.sharedAge[li] = 0
+			}
+		}
+		for li := range cc.lvl {
+			d := &cc.lvl[li]
+			if d.accesses|d.hits|d.misses != 0 {
+				inst := h.levels[li][0]
+				inst.Accesses += d.accesses
+				inst.Hits += d.hits
+				inst.Misses += d.misses
+				*d = lvlDelta{}
+			}
+		}
+		cc.epoch++
+	}
+	h.curAddr = 0
+}
+
+// markShared marks every private copy of the line shared on the cores in
+// mask: the line was co-filled by multiple cores in one quantum, so no
+// core may keep an exclusive copy (see the package comment).
+func (s *ParallelSession) markShared(tag uint64, mask uint32) {
+	h := s.h
+	for c := 0; c < h.numCores; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		for li := range h.levels {
+			if h.cfg.Levels[li].Shared {
+				continue
+			}
+			if w := h.inst(li, c).peek(tag); w != nil {
+				w.shared = true
+			}
+		}
+	}
+}

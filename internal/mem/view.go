@@ -1,0 +1,159 @@
+package mem
+
+// view.go supplies the thread-private windows onto a Space that the
+// parallel execution engine needs. Space itself is built for one
+// interpreter goroutine: page() lazily creates pages and refreshes the
+// shared last-page cache, and FindObject refreshes the shared last-object
+// cache. Both are pure memoization — results never depend on the cache
+// contents — so giving each simulated core its own cache (a View, a
+// Finder) preserves results exactly while removing every write to shared
+// state from the concurrent path.
+//
+// Protocol (enforced by the vm parallel engine, not here):
+//
+//   - MaterializeObjectPages runs before a parallel phase, so the shared
+//     page map is complete for every allocated range and stays frozen
+//     while quanta execute concurrently.
+//   - During a quantum each thread reads and writes through its own View.
+//     Reads hit the frozen shared map; writes land in place (threads of a
+//     well-formed program write disjoint bytes within a quantum — the ISA
+//     has no atomics, so overlapping same-quantum writes are program
+//     races). A write that misses the shared map entirely (an access
+//     outside every allocated object) falls into the View's private
+//     overlay instead of mutating the shared map.
+//   - At the quantum barrier the engine calls MergeView in fixed thread
+//     order, folding any overlay pages into the shared map
+//     deterministically.
+
+// Finder resolves addresses to objects with its own last-hit cache, so
+// concurrent samplers can attribute accesses without sharing
+// Space.lastObj. Results are identical to Space.FindObject; the object
+// table must not grow while Finders are used concurrently (the parallel
+// engine rejects phases that allocate).
+type Finder struct {
+	space *Space
+	last  *Object
+}
+
+// NewFinder returns an address→object resolver private to one thread.
+func (s *Space) NewFinder() *Finder { return &Finder{space: s} }
+
+// Find resolves an effective address to the object containing it, or nil.
+func (f *Finder) Find(addr uint64) *Object {
+	if o := f.last; o != nil && addr >= o.Base && addr < o.Base+o.Size {
+		return o
+	}
+	o := f.space.findSorted(addr)
+	if o != nil {
+		f.last = o
+	}
+	return o
+}
+
+// View is one thread's window onto a Space for parallel execution: its
+// own last-page cache plus a private overlay for pages absent from the
+// shared map. The shared map itself is never written through a View.
+type View struct {
+	space      *Space
+	lastPageNo uint64
+	lastPage   *[pageSize]byte
+	priv       map[uint64]*[pageSize]byte
+}
+
+// NewView returns a fresh thread-private view of the space.
+func (s *Space) NewView() *View {
+	return &View{space: s, lastPageNo: ^uint64(0)}
+}
+
+func (v *View) page(addr uint64) *[pageSize]byte {
+	no := addr >> pageShift
+	if no == v.lastPageNo {
+		return v.lastPage
+	}
+	p, ok := v.space.pages[no]
+	if !ok {
+		if p, ok = v.priv[no]; !ok {
+			if v.priv == nil {
+				v.priv = make(map[uint64]*[pageSize]byte)
+			}
+			p = new([pageSize]byte)
+			v.priv[no] = p
+		}
+	}
+	v.lastPageNo, v.lastPage = no, p
+	return p
+}
+
+// ReadInt mirrors Space.ReadInt through the view.
+func (v *View) ReadInt(addr uint64, size int) int64 {
+	off := addr & pageMask
+	p := v.page(addr)
+	if off+uint64(size) <= pageSize {
+		return readIntPage(p, off, size)
+	}
+	var u uint64
+	for i := size - 1; i >= 0; i-- {
+		a := addr + uint64(i)
+		u = u<<8 | uint64(v.page(a)[a&pageMask])
+	}
+	return int64(u)
+}
+
+// WriteInt mirrors Space.WriteInt through the view.
+func (v *View) WriteInt(addr uint64, size int, val int64) {
+	off := addr & pageMask
+	p := v.page(addr)
+	if off+uint64(size) <= pageSize {
+		writeIntPage(p, off, size, val)
+		return
+	}
+	u := uint64(val)
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		v.page(a)[a&pageMask] = byte(u)
+		u >>= 8
+	}
+}
+
+// MaterializeObjectPages creates every page overlapping a registered
+// object, so a subsequent parallel phase finds the shared page map
+// complete and read-only. Accesses within allocated data never touch a
+// View overlay afterwards.
+func (s *Space) MaterializeObjectPages() {
+	for _, o := range s.objects {
+		if o.Size == 0 {
+			continue
+		}
+		for no := o.Base >> pageShift; no <= (o.Base+o.Size-1)>>pageShift; no++ {
+			if _, ok := s.pages[no]; !ok {
+				s.pages[no] = new([pageSize]byte)
+			}
+		}
+	}
+	// The last-page cache may predate materialization; keep it valid.
+	s.lastPageNo, s.lastPage = ^uint64(0), nil
+}
+
+// MergeView folds a view's private overlay pages into the shared map and
+// resets the view's caches. Called at quantum barriers in fixed thread
+// order: the first view to carry a page donates it; later views' copies
+// are OR-merged byte-wise, which is exact for byte-disjoint writers and
+// deterministic regardless.
+func (s *Space) MergeView(v *View) {
+	for no, p := range v.priv {
+		if dst, ok := s.pages[no]; ok {
+			for i, b := range p {
+				if b != 0 {
+					dst[i] |= b
+				}
+			}
+		} else {
+			s.pages[no] = p
+		}
+		delete(v.priv, no)
+	}
+	v.lastPageNo, v.lastPage = ^uint64(0), nil
+}
+
+// Dirty reports whether the view carries overlay pages (for tests).
+func (v *View) Dirty() bool { return len(v.priv) > 0 }

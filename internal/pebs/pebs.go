@@ -130,6 +130,11 @@ type threadState struct {
 	nextAt    uint64 // IBS: instruction count of the next tagged op
 	rng       uint64
 	prof      *profile.ThreadProfile
+	// find is the thread-private address→object resolver; attribution
+	// results match Space.FindObject exactly, but the last-hit memo is
+	// per thread, so concurrent interpreter goroutines (vm.Config.
+	// Parallel) never write shared sampler state.
+	find *mem.Finder
 }
 
 // NewSampler attaches to a machine's address space for numThreads
@@ -144,6 +149,7 @@ func NewSampler(cfg Config, space *mem.Space, numThreads int) *Sampler {
 		ts := &s.threads[i]
 		ts.rng = splitmix64(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15 + 1)
 		ts.prof = profile.NewThreadProfile(i, cfg.Period)
+		ts.find = space.NewFinder()
 		gap := s.nextGap(ts)
 		ts.countdown = gap
 		ts.nextAt = gap
@@ -204,7 +210,7 @@ func (s *Sampler) OnAccess(ev *vm.MemEvent) uint64 {
 	// Data-centric attribution: effective address → data object.
 	objID := int32(-1)
 	var identity uint64
-	if o := s.space.FindObject(ev.EA); o != nil {
+	if o := ts.find.Find(ev.EA); o != nil {
 		objID = int32(o.ID)
 		identity = o.Identity
 	}
@@ -249,6 +255,33 @@ func (s *Sampler) AccessGap(tid int) (gap uint64, byInstrs bool) {
 func (s *Sampler) SkipAccesses(tid int, n uint64) {
 	s.threads[tid].countdown -= n
 }
+
+// WindowPlan implements vm.WindowSampler: it schedules the statistical
+// engine's sampled windows. Of the thread's current inter-sample gap —
+// accesses certain not to be sampled — the leading fastForward accesses
+// may skip cache simulation entirely; the remaining (up to window)
+// accesses form the warmup suffix that is fully simulated, but not
+// sampled, so the cache state the next sample observes has warmed for at
+// least window accesses. IBS-mode gaps are instruction-gated, not
+// access-counted, so there is no access budget to split and the machine
+// stays exact.
+func (s *Sampler) WindowPlan(tid int, window uint64) (fastForward uint64) {
+	if s.cfg.Mode == ModeIBS {
+		return 0
+	}
+	gap := s.threads[tid].countdown - 1
+	if gap <= window {
+		return 0
+	}
+	return gap - window
+}
+
+// ParallelSafe implements vm.ParallelSafeObserver: OnAccess touches only
+// per-thread state (the thread's profile, RNG, countdown, and private
+// object finder), so concurrent delivery from per-core interpreter
+// goroutines is safe as long as the object table is not growing — which
+// the parallel engine guarantees by rejecting phases that allocate.
+func (s *Sampler) ParallelSafe() bool { return true }
 
 // Finish snapshots the object table into each thread profile and attaches
 // the run's cycle accounts; call it once after the machine run completes.

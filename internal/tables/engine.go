@@ -44,8 +44,8 @@ func (e *Engine) Stats() (started, deduped uint64) { return e.pool.Stats() }
 // change the result — differential tests rely on a reference run never
 // being answered from a fast-path run's cache entry, or vice versa.
 func (o Options) key(kind, name string) string {
-	return fmt.Sprintf("%s/%s/scale=%d/period=%d/seed=%d/ref=%t",
-		kind, name, o.Scale, o.effectivePeriod(), o.Seed, o.Reference)
+	return fmt.Sprintf("%s/%s/scale=%d/period=%d/seed=%d/ref=%t/stat=%t/w=%d",
+		kind, name, o.Scale, o.effectivePeriod(), o.Seed, o.Reference, o.Statistical, o.StatWindow)
 }
 
 // profiledRun bundles a profiled simulation with the program it ran, so

@@ -109,6 +109,29 @@ type GapSampler interface {
 	SkipAccesses(tid int, n uint64)
 }
 
+// WindowSampler is a GapSampler that additionally understands sampled-
+// window statistical simulation (Config.StatWindow). After each delivered
+// sample, WindowPlan returns how many of the upcoming skippable accesses
+// the machine may fast-forward — run with exact program semantics but
+// estimated memory latency, without walking the cache hierarchy — so that
+// the trailing `window` accesses before the next sample still run the
+// full cache model as warmup. A sampler returns 0 to demand exact
+// simulation of the whole gap (e.g. in instruction-gated mode).
+type WindowSampler interface {
+	GapSampler
+	WindowPlan(tid int, window uint64) (fastForward uint64)
+}
+
+// ParallelSafeObserver marks an AccessObserver whose OnAccess may be
+// invoked concurrently from per-thread interpreter goroutines, provided
+// events for any single tid arrive in order from one goroutine at a time.
+// The parallel engine falls back to sequential execution for observers
+// that do not implement it (or return false).
+type ParallelSafeObserver interface {
+	AccessObserver
+	ParallelSafe() bool
+}
+
 // deliverAccess materializes the full MemEvent for one access, flushes
 // any batched skips first so a gap sampler's counters are exact, and
 // re-arms the thread's skip budget from the sampler afterwards.
@@ -117,7 +140,7 @@ func (m *Machine) deliverAccess(t *Thread, ip, ea uint64, size uint8, write bool
 		m.gap.SkipAccesses(t.ID, t.pendSkip)
 		t.pendSkip = 0
 	}
-	ev := &m.evScratch
+	ev := &t.evScratch
 	ev.TID = t.ID
 	ev.IP = ip
 	ev.EA = ea
@@ -160,6 +183,8 @@ func (m *Machine) stepThreadFast(t *Thread, quantum int) (uint64, error) {
 	obs := m.Observer
 	gap := m.gap
 	gapByInstr := m.gapByInstr
+	winSampler := m.winSampler
+	statW := uint64(m.cfg.StatWindow)
 	code := m.code[t.fn]
 	pc := t.pc
 	regs := &t.Regs
@@ -241,9 +266,33 @@ func (m *Machine) stepThreadFast(t *Thread, quantum int) (uint64, error) {
 			if write {
 				space.WriteInt(ea, size, regs[u.rd])
 			}
+			if t.ffSkip > 0 {
+				// Statistical fast-forward: the write above and the read
+				// below keep program semantics exact; the cache walk is
+				// replaced by the thread's running-mean latency, and the
+				// access is batched as a sampler skip like any other
+				// non-sample access.
+				t.ffSkip--
+				cycles += t.estLat
+				memOps++
+				t.statSkipped++
+				t.statSkipCycles += t.estLat
+				if !write {
+					regs[u.rd] = space.ReadInt(ea, size)
+				}
+				if sampSkip > 0 {
+					sampSkip--
+					pendSkip++
+				}
+				break
+			}
 			res := caches.Access(t.Core, u.ip, ea, size, write)
 			cycles += uint64(res.Latency)
 			memOps++
+			if winSampler != nil {
+				t.simLatSum += uint64(res.Latency)
+				t.simAccesses++
+			}
 			if !write {
 				regs[u.rd] = space.ReadInt(ea, size)
 			}
@@ -263,6 +312,14 @@ func (m *Machine) stepThreadFast(t *Thread, quantum int) (uint64, error) {
 					t.sampSkip, t.pendSkip = sampSkip, pendSkip
 					m.deliverAccess(t, u.ip, ea, u.size, write, res)
 					sampSkip, pendSkip = t.sampSkip, t.pendSkip
+					if winSampler != nil && t.simAccesses > 0 {
+						if ff := winSampler.WindowPlan(t.ID, statW); ff > 0 {
+							t.ffSkip = ff
+							t.estLat = t.simLatSum / t.simAccesses
+							t.statWindows++
+							caches.Age(t.Core, ff)
+						}
+					}
 				}
 			}
 

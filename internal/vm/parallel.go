@@ -1,0 +1,398 @@
+package vm
+
+// parallel.go is the parallel execution engine (Config.Parallel): each
+// thread of a multi-thread phase advances one quantum on its own
+// goroutine against thread-private views of the shared state, then a
+// barrier folds the private state back in fixed thread/core order:
+//
+//   - memory writes that missed the frozen shared page map land in
+//     per-thread overlay pages, merged at the barrier (mem.View);
+//   - private cache levels mutate freely, while every shared-level and
+//     directory mutation is queued and applied at the barrier in core
+//     order (cache.ParallelSession);
+//   - observer events are delivered inline from the per-thread
+//     goroutines, which the engine only allows for observers that declare
+//     themselves ParallelSafe (per-thread sampler state).
+//
+// The resulting semantics are deterministic lax coherence: cross-core
+// effects become visible at quantum boundaries, in a fixed merge order
+// that does not depend on goroutine scheduling. Profiles, statistics, and
+// tables are therefore byte-identical at any Workers count and any
+// GOMAXPROCS — the differential suite in parallel_differential_test.go
+// gates this — but are a distinct (equally deterministic) interleaving
+// semantics from the sequential engine, whose coherence is visible
+// per-access.
+//
+// Phases the protocol cannot express fall back to the sequential engine,
+// with the reason recorded in ParallelInfo: a single runnable thread,
+// threads sharing a core (their private levels would race), heap
+// allocation reachable from a thread root (the object table and page map
+// must stay frozen), or an observer that is not ParallelSafe.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ParallelInfo reports what the parallel engine did across a machine's
+// runs. It is diagnostic only — deliberately not part of Stats, so
+// sequential and parallel runs of eligible workloads can compare Stats
+// wholesale.
+type ParallelInfo struct {
+	// Engaged reports whether any phase ran on the parallel engine.
+	Engaged bool
+	// Rounds counts quantum barriers executed.
+	Rounds uint64
+	// Fallbacks records, per multi-thread phase that was routed to the
+	// sequential engine despite Config.Parallel, why it was ineligible.
+	Fallbacks []string
+}
+
+// ParallelInfo returns the engine's record for this machine.
+func (m *Machine) ParallelInfo() ParallelInfo { return m.parInfo }
+
+// parallelIneligible reports why the current thread set cannot run on the
+// parallel engine ("" if it can).
+func (m *Machine) parallelIneligible(specs []ThreadSpec) string {
+	var seen uint64
+	for _, sp := range specs {
+		if sp.Core >= 64 {
+			return "core index beyond engine limit"
+		}
+		if seen&(1<<uint(sp.Core)) != 0 {
+			return "threads share a core"
+		}
+		seen |= 1 << uint(sp.Core)
+	}
+	if m.Observer != nil {
+		ps, ok := m.Observer.(ParallelSafeObserver)
+		if !ok || !ps.ParallelSafe() {
+			return "observer is not parallel-safe"
+		}
+	}
+	if m.allocReach == nil {
+		m.computeAllocReach()
+	}
+	for _, sp := range specs {
+		if m.allocReach[sp.Fn] {
+			return "heap allocation reachable from thread root"
+		}
+	}
+	return ""
+}
+
+// computeAllocReach computes, per function, whether an Alloc is reachable
+// through the static call graph (Call targets are direct, so the graph is
+// exact). Fixed-point propagation over the compiled code; computed once
+// per machine.
+func (m *Machine) computeAllocReach() {
+	n := len(m.code)
+	reach := make([]bool, n)
+	calls := make([][]int32, n)
+	for fi, code := range m.code {
+		for i := range code {
+			switch code[i].op {
+			case isa.Alloc:
+				reach[fi] = true
+			case isa.Call:
+				calls[fi] = append(calls[fi], code[i].target)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := range reach {
+			if reach[fi] {
+				continue
+			}
+			for _, callee := range calls[fi] {
+				if reach[callee] {
+					reach[fi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	m.allocReach = reach
+}
+
+// runParallel executes the current thread set with one goroutine per
+// runnable thread per quantum round, bounded by Config.Workers.
+func (m *Machine) runParallel() (Stats, error) {
+	m.parInfo.Engaged = true
+	// Freeze the shared page map: with every allocated range backed, the
+	// concurrent quanta never mutate the map itself, and overlay pages
+	// only appear for stray accesses outside every object.
+	m.Space.MaterializeObjectPages()
+	if m.parSession == nil {
+		m.parSession = m.Caches.NewParallelSession()
+	}
+	for len(m.parViews) < len(m.Threads) {
+		m.parViews = append(m.parViews, m.Space.NewView())
+	}
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	quantum := m.cfg.Quantum
+	ns := make([]uint64, len(m.Threads))
+	errs := make([]error, len(m.Threads))
+	sem := make(chan struct{}, workers)
+	var executed uint64
+	for {
+		alive := false
+		var wg sync.WaitGroup
+		for _, t := range m.Threads {
+			if t.Halted {
+				continue
+			}
+			alive = true
+			t := t
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				ns[t.ID], errs[t.ID] = m.stepThreadPar(t, quantum, m.parViews[t.ID], m.parSession.Core(t.Core))
+				<-sem
+			}()
+		}
+		if !alive {
+			break
+		}
+		wg.Wait()
+
+		// Barrier: fold thread-private state back in fixed thread order,
+		// then shared cache/directory ops in fixed core order.
+		for _, t := range m.Threads {
+			m.Space.MergeView(m.parViews[t.ID])
+		}
+		m.parSession.Merge()
+		m.parInfo.Rounds++
+
+		for _, t := range m.Threads {
+			if errs[t.ID] != nil {
+				return Stats{}, fmt.Errorf("thread %d: %w", t.ID, errs[t.ID])
+			}
+			executed += ns[t.ID]
+			ns[t.ID] = 0
+		}
+		if executed > m.cfg.MaxInstrs {
+			return Stats{}, fmt.Errorf("instruction budget exceeded (%d); runaway program?", m.cfg.MaxInstrs)
+		}
+	}
+	return m.stats(), nil
+}
+
+// stepThreadPar runs up to quantum micro-ops of one thread against its
+// memory view and core cache handle. It mirrors stepThreadFast case by
+// case; the differences are the space/cache indirection, and that Alloc
+// is an error (eligibility proved it unreachable).
+func (m *Machine) stepThreadPar(t *Thread, quantum int, space *mem.View, caches *cache.CoreCache) (uint64, error) {
+	obs := m.Observer
+	gap := m.gap
+	gapByInstr := m.gapByInstr
+	winSampler := m.winSampler
+	statW := uint64(m.cfg.StatWindow)
+	code := m.code[t.fn]
+	pc := t.pc
+	regs := &t.Regs
+	instrs := t.Instrs
+	cycles := t.Cycles
+	memOps := t.MemOps
+	sampSkip := t.sampSkip
+	pendSkip := t.pendSkip
+	var done uint64
+
+	for int(done) < quantum {
+		u := &code[pc]
+		pc++
+		done++
+		instrs++
+		cycles += uint64(u.cost)
+
+		switch u.op {
+		case isa.Nop:
+		case isa.MovI:
+			regs[u.rd] = u.imm
+		case isa.Mov:
+			regs[u.rd] = regs[u.rs1]
+		case isa.Add:
+			regs[u.rd] = regs[u.rs1] + regs[u.rs2]
+		case isa.AddI:
+			regs[u.rd] = regs[u.rs1] + u.imm
+		case isa.Sub:
+			regs[u.rd] = regs[u.rs1] - regs[u.rs2]
+		case isa.Mul:
+			regs[u.rd] = regs[u.rs1] * regs[u.rs2]
+		case isa.MulI:
+			regs[u.rd] = regs[u.rs1] * u.imm
+		case isa.Div:
+			if d := regs[u.rs2]; d != 0 {
+				regs[u.rd] = regs[u.rs1] / d
+			} else {
+				regs[u.rd] = 0
+			}
+		case isa.Rem:
+			if d := regs[u.rs2]; d != 0 {
+				regs[u.rd] = regs[u.rs1] % d
+			} else {
+				regs[u.rd] = 0
+			}
+		case isa.And:
+			regs[u.rd] = regs[u.rs1] & regs[u.rs2]
+		case isa.Or:
+			regs[u.rd] = regs[u.rs1] | regs[u.rs2]
+		case isa.Xor:
+			regs[u.rd] = regs[u.rs1] ^ regs[u.rs2]
+		case isa.Shl:
+			regs[u.rd] = regs[u.rs1] << (uint64(regs[u.rs2]) & 63)
+		case isa.Shr:
+			regs[u.rd] = regs[u.rs1] >> (uint64(regs[u.rs2]) & 63)
+		case isa.FAdd:
+			regs[u.rd] = fbits(fval(regs[u.rs1]) + fval(regs[u.rs2]))
+		case isa.FSub:
+			regs[u.rd] = fbits(fval(regs[u.rs1]) - fval(regs[u.rs2]))
+		case isa.FMul:
+			regs[u.rd] = fbits(fval(regs[u.rs1]) * fval(regs[u.rs2]))
+		case isa.FDiv:
+			regs[u.rd] = fbits(fval(regs[u.rs1]) / fval(regs[u.rs2]))
+		case isa.FSqrt:
+			regs[u.rd] = fbits(math.Sqrt(fval(regs[u.rs1])))
+		case isa.CvtIF:
+			regs[u.rd] = fbits(float64(regs[u.rs1]))
+		case isa.CvtFI:
+			regs[u.rd] = int64(fval(regs[u.rs1]))
+
+		case isa.Load, isa.Store:
+			ea := uint64(regs[u.rs1] + regs[u.rs2]*u.scale + u.disp)
+			size := int(u.size)
+			write := u.op == isa.Store
+			if write {
+				space.WriteInt(ea, size, regs[u.rd])
+			}
+			if t.ffSkip > 0 {
+				t.ffSkip--
+				cycles += t.estLat
+				memOps++
+				t.statSkipped++
+				t.statSkipCycles += t.estLat
+				if !write {
+					regs[u.rd] = space.ReadInt(ea, size)
+				}
+				if sampSkip > 0 {
+					sampSkip--
+					pendSkip++
+				}
+				break
+			}
+			res := caches.Access(u.ip, ea, size, write)
+			cycles += uint64(res.Latency)
+			memOps++
+			if winSampler != nil {
+				t.simLatSum += uint64(res.Latency)
+				t.simAccesses++
+			}
+			if !write {
+				regs[u.rd] = space.ReadInt(ea, size)
+			}
+			if obs != nil {
+				deliver := true
+				if gap != nil {
+					if gapByInstr {
+						deliver = instrs >= t.instrGate
+					} else if sampSkip > 0 {
+						sampSkip--
+						pendSkip++
+						deliver = false
+					}
+				}
+				if deliver {
+					t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+					t.sampSkip, t.pendSkip = sampSkip, pendSkip
+					m.deliverAccess(t, u.ip, ea, u.size, write, res)
+					sampSkip, pendSkip = t.sampSkip, t.pendSkip
+					if winSampler != nil && t.simAccesses > 0 {
+						if ff := winSampler.WindowPlan(t.ID, statW); ff > 0 {
+							t.ffSkip = ff
+							t.estLat = t.simLatSum / t.simAccesses
+							t.statWindows++
+							caches.Age(ff)
+						}
+					}
+				}
+			}
+
+		case isa.Jmp:
+			pc = int(u.target)
+		case isa.Br:
+			if u.cmp.Eval(regs[u.rs1], regs[u.rs2]) {
+				pc = int(u.target)
+			}
+		case isa.Call:
+			fr := frame{fn: t.fn, pc: pc, callIP: u.ip}
+			fr.regs = *regs
+			t.frames = append(t.frames, fr)
+			t.callPath = append(t.callPath, u.ip)
+			t.ctxStack = append(t.ctxStack, mixCtx(t.ctx(), u.ip))
+			t.fn = int(u.target)
+			pc = 0
+			code = m.code[t.fn]
+		case isa.Ret:
+			if len(t.frames) == 0 {
+				// Returning from the thread's root function halts it.
+				t.Halted = true
+				t.pc = pc
+				t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+				t.sampSkip, t.pendSkip = sampSkip, pendSkip
+				m.flushSkips(t)
+				return done, nil
+			}
+			fr := t.frames[len(t.frames)-1]
+			t.frames = t.frames[:len(t.frames)-1]
+			t.callPath = t.callPath[:len(t.callPath)-1]
+			t.ctxStack = t.ctxStack[:len(t.ctxStack)-1]
+			ret := regs[isa.RetReg]
+			*regs = fr.regs
+			regs[isa.RetReg] = ret
+			t.fn, pc = fr.fn, fr.pc
+			code = m.code[t.fn]
+		case isa.Halt:
+			t.Halted = true
+			t.pc = pc
+			t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+			t.sampSkip, t.pendSkip = sampSkip, pendSkip
+			m.flushSkips(t)
+			return done, nil
+
+		case isa.Alloc:
+			t.pc = pc
+			t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+			t.sampSkip, t.pendSkip = sampSkip, pendSkip
+			m.flushSkips(t)
+			return done, fmt.Errorf("allocation in parallel phase at %#x", u.ip)
+		case isa.GAddr:
+			regs[u.rd] = u.imm
+
+		default:
+			t.pc = pc
+			t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+			t.sampSkip, t.pendSkip = sampSkip, pendSkip
+			m.flushSkips(t)
+			return done, fmt.Errorf("unimplemented opcode %s at %#x", u.op, u.ip)
+		}
+		regs[isa.RZ] = 0
+	}
+	t.pc = pc
+	t.Instrs, t.Cycles, t.MemOps = instrs, cycles, memOps
+	t.sampSkip, t.pendSkip = sampSkip, pendSkip
+	m.flushSkips(t)
+	return done, nil
+}

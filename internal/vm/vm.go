@@ -97,6 +97,29 @@ type Config struct {
 	// Results are identical either way (see the package comment);
 	// differential tests and baseline benchmarks use it.
 	Reference bool
+
+	// StatWindow > 0 enables sampled-window statistical simulation on the
+	// compiled engine when the observer is a WindowSampler: of each
+	// inter-sample gap, only the trailing StatWindow accesses (the warmup
+	// suffix) and the sample itself run the full cache model; the leading
+	// accesses execute their exact memory semantics but charge the
+	// thread's running-mean latency instead of walking the hierarchy.
+	// Control flow, memory contents, and the set of sampled accesses are
+	// exact; sample latencies, levels, and timestamps are approximate
+	// (see StatCounters). Instruction-gated (IBS) sampling and the
+	// reference engine ignore the setting and stay exact.
+	StatWindow int
+
+	// Parallel runs each multi-thread phase's threads on separate
+	// goroutines, one simulated core per thread, with deterministic
+	// quantum-boundary merging of shared cache, directory, and memory
+	// state (see parallel.go). Phases that are ineligible — one thread,
+	// threads sharing a core, reachable allocation, or an observer that
+	// is not ParallelSafe — fall back to the sequential engine.
+	Parallel bool
+	// Workers bounds the goroutines executing thread quanta concurrently
+	// (0 = GOMAXPROCS). Results are byte-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the interpreter defaults.
@@ -164,10 +187,31 @@ type Thread struct {
 	pendSkip  uint64
 	instrGate uint64
 
+	// Statistical-mode state (compiled engine with Config.StatWindow > 0
+	// and a WindowSampler): ffSkip accesses remain to fast-forward without
+	// walking the cache hierarchy, each charged estLat cycles — the
+	// running mean simLatSum/simAccesses over the accesses this thread
+	// simulated exactly. statWindows/statSkipped/statSkipCycles feed the
+	// run's StatCounters.
+	ffSkip         uint64
+	estLat         uint64
+	simLatSum      uint64
+	simAccesses    uint64
+	statWindows    uint64
+	statSkipped    uint64
+	statSkipCycles uint64
+
 	Cycles         uint64 // application cycles
 	OverheadCycles uint64 // observer-charged cycles
 	Instrs         uint64
 	MemOps         uint64
+
+	// evScratch is the MemEvent handed to the observer for this thread's
+	// accesses. Reusing one thread-owned event keeps the per-access path
+	// allocation-free (a stack-local event would escape through the
+	// interface call), and per-thread ownership lets the parallel engine
+	// deliver events from concurrent quanta without sharing.
+	evScratch MemEvent
 }
 
 // Now returns the thread's local time including charged overhead; sample
@@ -191,16 +235,20 @@ type Machine struct {
 	cfg        Config
 
 	// code is the block-compiled program (nil under Config.Reference);
-	// gap/gapByInstr cache the observer's GapSampler view for one Run.
+	// gap/gapByInstr cache the observer's GapSampler view for one Run,
+	// and winSampler its WindowSampler view when statistical mode is on.
 	code       [][]cop
 	gap        GapSampler
 	gapByInstr bool
+	winSampler WindowSampler
 
-	// evScratch is the MemEvent handed to the observer. Reusing one
-	// machine-owned event keeps the per-access path allocation-free: a
-	// stack-local event would escape through the interface call and cost
-	// one heap allocation per observed access.
-	evScratch MemEvent
+	// Parallel-engine state: the reusable barrier session, the per-thread
+	// memory views, the memoized can-this-function-allocate analysis, and
+	// the record of what the engine did (see ParallelInfo).
+	parSession *cache.ParallelSession
+	parViews   []*mem.View
+	allocReach []bool // per function: can an Alloc execute from here?
+	parInfo    ParallelInfo
 }
 
 // NewMachine loads the program: it finalizes it if needed, places static
@@ -269,6 +317,7 @@ func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 	// accesses; arm each thread's initial skip budget. The reference
 	// engine always delivers every access.
 	m.gap = nil
+	m.winSampler = nil
 	if m.code != nil && m.Observer != nil {
 		if g, ok := m.Observer.(GapSampler); ok {
 			m.gap = g
@@ -281,6 +330,23 @@ func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 					t.sampSkip = gap
 				}
 			}
+			if m.cfg.StatWindow > 0 && !m.gapByInstr {
+				if w, ok := g.(WindowSampler); ok {
+					m.winSampler = w
+					// Statistical runs age lines across fast-forwards so
+					// the skipped accesses' evictions are modeled rather
+					// than leaving stale lines to serve artificial hits.
+					m.Caches.EnableDecay()
+				}
+			}
+		}
+	}
+
+	if m.cfg.Parallel && m.code != nil && len(m.Threads) > 1 {
+		if reason := m.parallelIneligible(specs); reason == "" {
+			return m.runParallel()
+		} else {
+			m.parInfo.Fallbacks = append(m.parInfo.Fallbacks, reason)
 		}
 	}
 
@@ -413,7 +479,7 @@ func (m *Machine) stepThread(t *Thread, quantum int) (uint64, error) {
 				regs[in.Rd] = space.ReadInt(ea, size)
 			}
 			if obs != nil {
-				ev := &m.evScratch
+				ev := &t.evScratch
 				ev.TID = t.ID
 				ev.IP = in.IP
 				ev.EA = ea
@@ -529,6 +595,22 @@ type Stats struct {
 	Instrs        uint64
 	MemOps        uint64
 	Cache         cache.Stats
+	// Stat accounts for statistical mode; all-zero on exact runs, so
+	// exact-mode differential twins compare Stats wholesale.
+	Stat StatCounters
+}
+
+// StatCounters records what statistical mode skipped and what it
+// simulated, the raw material for the run's error report: of
+// Simulated+Skipped memory accesses, only Simulated walked the cache
+// hierarchy; the rest were charged EstimatedCycles in total from each
+// thread's running-mean latency. Windows counts the fast-forward windows
+// armed (one per sampled access with a gap wider than the window).
+type StatCounters struct {
+	Windows         uint64
+	Skipped         uint64
+	Simulated       uint64
+	EstimatedCycles uint64
 }
 
 // ThreadStats is one thread's account.
@@ -559,6 +641,10 @@ func (m *Machine) stats() Stats {
 		st.PerThread = append(st.PerThread, ts)
 		st.Instrs += t.Instrs
 		st.MemOps += t.MemOps
+		st.Stat.Windows += t.statWindows
+		st.Stat.Skipped += t.statSkipped
+		st.Stat.Simulated += t.simAccesses
+		st.Stat.EstimatedCycles += t.statSkipCycles
 		if t.Cycles > st.AppWallCycles {
 			st.AppWallCycles = t.Cycles
 		}

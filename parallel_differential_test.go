@@ -1,0 +1,327 @@
+package repro_test
+
+// Differential harness for the parallel per-core engine (vm.Config
+// Parallel). The engine's contract is determinism, not equivalence to the
+// sequential engine: each quantum runs every thread against the
+// quantum-start shared cache state, and cross-core effects land at the
+// barrier in fixed core order — a lax-coherence semantics whose results
+// are byte-identical at ANY worker count and GOMAXPROCS, because nothing
+// depends on goroutine scheduling. This suite gates that identity (run
+// it under -race in CI: the engine must also be data-race-free), plus the
+// engagement and fallback bookkeeping.
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/pebs"
+	"repro/internal/prog"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+// parallelWorkloads are the multithreaded fixtures whose worker phases
+// are parallel-eligible (no allocation reachable, one thread per core).
+var parallelWorkloads = []string{"clomp", "falseshare"}
+
+func profiledRun(t *testing.T, name string, workers int) (*structslim.RunResult, string) {
+	t.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := structslim.Options{SamplePeriod: 3000, Seed: 7}
+	opt.VM = vm.Config{Parallel: true, Workers: workers}
+	res, rep, err := structslim.ProfileAndAnalyze(p, phases, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.RenderText(&buf)
+	return res, buf.String()
+}
+
+// TestParallelIdenticalAcrossWorkers is the hard gate: profiles, stats,
+// and rendered reports must be byte-identical at any worker bound.
+func TestParallelIdenticalAcrossWorkers(t *testing.T) {
+	for _, name := range parallelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			base, baseRep := profiledRun(t, name, 1)
+			if base.Profile.NumSamples == 0 {
+				t.Fatal("no samples; test has no power")
+			}
+			for _, workers := range []int{2, 4, 0} {
+				res, rep := profiledRun(t, name, workers)
+				if !reflect.DeepEqual(base.Stats, res.Stats) {
+					t.Errorf("workers=%d: stats diverge\n1: %+v\n%d: %+v", workers, base.Stats, workers, res.Stats)
+				}
+				if !reflect.DeepEqual(base.Profile, res.Profile) {
+					t.Errorf("workers=%d: merged profile diverges", workers)
+				}
+				if !reflect.DeepEqual(base.ThreadProfiles, res.ThreadProfiles) {
+					t.Errorf("workers=%d: thread profiles diverge", workers)
+				}
+				if rep != baseRep {
+					t.Errorf("workers=%d: rendered report diverges", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIdenticalAcrossGOMAXPROCS pins scheduling independence the
+// other way: same worker bound, different host parallelism.
+func TestParallelIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, name := range parallelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			serial, serialRep := profiledRun(t, name, 0)
+			runtime.GOMAXPROCS(runtime.NumCPU())
+			wide, wideRep := profiledRun(t, name, 0)
+			if !reflect.DeepEqual(serial.Stats, wide.Stats) {
+				t.Error("stats diverge across GOMAXPROCS")
+			}
+			if !reflect.DeepEqual(serial.Profile, wide.Profile) {
+				t.Error("profiles diverge across GOMAXPROCS")
+			}
+			if serialRep != wideRep {
+				t.Error("rendered reports diverge across GOMAXPROCS")
+			}
+		})
+	}
+}
+
+// TestParallelComposesWithStatistical runs both accelerators together:
+// the combination must keep the worker-count identity.
+func TestParallelComposesWithStatistical(t *testing.T) {
+	for _, name := range parallelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) *structslim.RunResult {
+				w, err := workloads.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, phases, err := w.Build(nil, workloads.ScaleTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := structslim.Options{SamplePeriod: 3000, Seed: 7}
+				opt.VM = vm.Config{Parallel: true, Workers: workers}
+				opt.Analysis.Statistical = true
+				res, err := structslim.ProfileRun(p, phases, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			one, four := run(1), run(4)
+			if !reflect.DeepEqual(one.Stats, four.Stats) {
+				t.Error("statistical+parallel stats diverge across workers")
+			}
+			if !reflect.DeepEqual(one.Profile, four.Profile) {
+				t.Error("statistical+parallel profiles diverge across workers")
+			}
+			if one.Stat == nil || one.Stat.Windows == 0 {
+				t.Error("statistical mode did not engage under the parallel engine")
+			}
+		})
+	}
+}
+
+// --- Engagement and fallback bookkeeping ---------------------------------
+
+// machineFor builds a machine for one workload with a PEBS sampler
+// attached, runs all phases, and returns it for ParallelInfo inspection.
+func machineFor(t *testing.T, name string, cfg vm.Config) *vm.Machine {
+	t.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := 0
+	maxT := 1
+	for _, ph := range phases {
+		for _, ts := range ph {
+			if ts.Core > cores {
+				cores = ts.Core
+			}
+		}
+		if len(ph) > maxT {
+			maxT = len(ph)
+		}
+	}
+	m, err := vm.NewMachine(p, cache.DefaultConfig(), cores+1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observer = pebs.NewSampler(pebs.DefaultConfig(), m.Space, maxT)
+	for _, ph := range phases {
+		if _, err := m.Run(ph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestParallelEngages(t *testing.T) {
+	for _, name := range parallelWorkloads {
+		t.Run(name, func(t *testing.T) {
+			m := machineFor(t, name, vm.Config{Parallel: true})
+			info := m.ParallelInfo()
+			if !info.Engaged {
+				t.Fatalf("parallel engine did not engage: fallbacks=%v", info.Fallbacks)
+			}
+			if info.Rounds == 0 {
+				t.Error("engine engaged but ran no rounds")
+			}
+			if len(info.Fallbacks) > 0 {
+				t.Errorf("unexpected fallbacks: %v", info.Fallbacks)
+			}
+		})
+	}
+}
+
+// nonParallelObserver is an AccessObserver without the ParallelSafe marker.
+type nonParallelObserver struct{ n int }
+
+func (o *nonParallelObserver) OnAccess(ev *vm.MemEvent) uint64 { o.n++; return 0 }
+
+func TestParallelFallsBackForUnsafeObserver(t *testing.T) {
+	w, err := workloads.Get("falseshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(p, cache.DefaultConfig(), 4, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observer = &nonParallelObserver{}
+	for _, ph := range phases {
+		if _, err := m.Run(ph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := m.ParallelInfo()
+	if info.Engaged {
+		t.Fatal("engine engaged with a non-parallel-safe observer")
+	}
+	found := false
+	for _, f := range info.Fallbacks {
+		if f == "observer is not parallel-safe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing fallback reason, got %v", info.Fallbacks)
+	}
+}
+
+// TestParallelFallsBackForAllocReachable builds a two-thread program whose
+// workers allocate: eligibility analysis must refuse it.
+func TestParallelFallsBackForAllocReachable(t *testing.T) {
+	rec := prog.MustRecord("node", prog.Field{Name: "v", Size: 8})
+	b := prog.NewBuilder("allocpar")
+	tids := b.RegisterLayout(prog.AoS(rec))
+	worker := b.Func("worker", "w.c")
+	dst, sz := b.R(), b.R()
+	b.MovI(sz, 8)
+	b.Alloc(dst, sz, tids[0])
+	b.Ret()
+	b.Func("main", "w.c")
+	b.Halt()
+	p := b.MustProgram()
+
+	m, err := vm.NewMachine(p, cache.DefaultConfig(), 2, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []vm.ThreadSpec{{Fn: worker, Core: 0}, {Fn: worker, Core: 1}}
+	if _, err := m.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	info := m.ParallelInfo()
+	if info.Engaged {
+		t.Fatal("engine engaged with allocating workers")
+	}
+	found := false
+	for _, f := range info.Fallbacks {
+		if f == "heap allocation reachable from thread root" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing fallback reason, got %v", info.Fallbacks)
+	}
+}
+
+func TestParallelFallsBackForSharedCore(t *testing.T) {
+	w, err := workloads.Get("falseshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Squash every worker onto core 0.
+	for pi := range phases {
+		for ti := range phases[pi] {
+			phases[pi][ti].Core = 0
+		}
+	}
+	m, err := vm.NewMachine(p, cache.DefaultConfig(), 1, vm.Config{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range phases {
+		if _, err := m.Run(ph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := m.ParallelInfo()
+	if info.Engaged {
+		t.Fatal("engine engaged with threads sharing a core")
+	}
+	found := false
+	for _, f := range info.Fallbacks {
+		if f == "threads share a core" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing fallback reason, got %v", info.Fallbacks)
+	}
+}
+
+// TestParallelScalesWallClock is a sanity check (not a perf gate; those
+// live in the benchmarks): the engine must at least not slow a
+// parallel-eligible workload down absurdly. Skipped in -short mode.
+func TestParallelScalesWallClock(t *testing.T) {
+	if testing.Short() || runtime.NumCPU() < 2 {
+		t.Skip("needs time and cores")
+	}
+	name := "falseshare"
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		res, _ := profiledRun(t, name, workers)
+		if res.Stats.MemOps == 0 {
+			t.Fatal("no work executed")
+		}
+	}
+}

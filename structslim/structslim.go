@@ -101,6 +101,21 @@ func (o Options) cacheConfig() cache.Config {
 	return cache.DefaultConfig()
 }
 
+// vmConfig derives the interpreter config, mapping the analysis-level
+// Statistical switch onto the engine's window setting. The window is
+// inert without a window-capable sampler attached, so baseline (Run) and
+// IBS runs stay exact either way.
+func (o Options) vmConfig() vm.Config {
+	c := o.VM
+	if o.Analysis.Statistical && c.StatWindow == 0 {
+		c.StatWindow = o.Analysis.StatWindow
+		if c.StatWindow == 0 {
+			c.StatWindow = core.DefaultStatWindow
+		}
+	}
+	return c
+}
+
 func coresFor(phases []Phase, override int) int {
 	if override > 0 {
 		return override
@@ -136,6 +151,11 @@ type RunResult struct {
 	// ThreadProfiles are the per-thread profiles before merging (what
 	// the online profiler writes to disk, one file per thread).
 	ThreadProfiles []*profile.ThreadProfile
+	// Stat is the statistical-mode error report (nil on exact runs).
+	Stat *StatReport
+	// Parallel is the parallel engine's diagnostic record (zero value
+	// unless Options.VM.Parallel was set and a machine run happened).
+	Parallel vm.ParallelInfo
 }
 
 // normalizePhases defaults to a single thread running the entry function.
@@ -160,6 +180,10 @@ func runPhases(m *vm.Machine, phases []Phase) (vm.Stats, error) {
 		total.WallCycles += st.WallCycles
 		total.AppWallCycles += st.AppWallCycles
 		total.Cache = st.Cache // machine counters are cumulative
+		total.Stat.Windows += st.Stat.Windows
+		total.Stat.Skipped += st.Stat.Skipped
+		total.Stat.Simulated += st.Stat.Simulated
+		total.Stat.EstimatedCycles += st.Stat.EstimatedCycles
 		for _, ts := range st.PerThread {
 			agg := perThread[ts.ID]
 			if agg == nil {
@@ -186,7 +210,7 @@ func runPhases(m *vm.Machine, phases []Phase) (vm.Stats, error) {
 // and cache statistics.
 func Run(p *prog.Program, phases []Phase, opt Options) (vm.Stats, error) {
 	phases = normalizePhases(p, phases)
-	m, err := vm.NewMachine(p, opt.cacheConfig(), coresFor(phases, opt.Cores), opt.VM)
+	m, err := vm.NewMachine(p, opt.cacheConfig(), coresFor(phases, opt.Cores), opt.vmConfig())
 	if err != nil {
 		return vm.Stats{}, err
 	}
@@ -207,7 +231,8 @@ func ProfileRun(p *prog.Program, phases []Phase, opt Options) (*RunResult, error
 			return res, nil
 		}
 	}
-	m, err := vm.NewMachine(p, opt.cacheConfig(), coresFor(phases, opt.Cores), opt.VM)
+	vmCfg := opt.vmConfig()
+	m, err := vm.NewMachine(p, opt.cacheConfig(), coresFor(phases, opt.Cores), vmCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +247,11 @@ func ProfileRun(p *prog.Program, phases []Phase, opt Options) (*RunResult, error
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{Stats: stats, Profile: merged, ThreadProfiles: tps}, nil
+	res := &RunResult{Stats: stats, Profile: merged, ThreadProfiles: tps, Parallel: m.ParallelInfo()}
+	if vmCfg.StatWindow > 0 {
+		res.Stat = buildStatReport(vmCfg.StatWindow, stats, merged, opt)
+	}
+	return res, nil
 }
 
 // Analyze runs the offline analyzer over a profiled run.
