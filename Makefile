@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke reuse-check bench-analytic analytic-gate bench-stat stat-gate stat-check
+.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke reuse-check bench-analytic analytic-gate bench-stat stat-gate stat-check vet-legality legality-check bench-legality
 
 all: build lint test
 
@@ -76,6 +76,36 @@ vet-sharing:
 	$(GO) run ./cmd/structslim vet -sharing -workload falseshare | tee /tmp/vet-sharing.out
 	@grep -q "FALSE-SHARING stats._Stat" /tmp/vet-sharing.out
 	@grep -q "CONFIRMED" /tmp/vet-sharing.out
+
+# vet-legality: the transform-legality acceptance smoke — the planted
+# illegal-split fixture must freeze (escaping field address) while ART,
+# the paper's flagship split, stays provably safe and replay-clean.
+vet-legality:
+	$(GO) run ./cmd/structslim vet -legality -workload escape | tee /tmp/vet-legality.out
+	@grep -q "packets.packet (struct packet.*FROZEN" /tmp/vet-legality.out
+	@grep -q "LEGALITY-OK" /tmp/vet-legality.out
+	$(GO) run ./cmd/structslim vet -legality -workload art | tee /tmp/vet-legality-art.out
+	@grep -q "SPLIT-SAFE" /tmp/vet-legality-art.out
+	@grep -q "LEGALITY-OK" /tmp/vet-legality-art.out
+
+# legality-check: the legality acceptance suite — per-object verdict
+# unit tests and the 7-workload verdict+cross-check sweep under the race
+# detector, the end-to-end gate (paper splits pass, planted fixture
+# refused), and a short run of the legality fuzzer (no-panic,
+# deterministic render, replay never contradicts a claim).
+legality-check:
+	$(GO) test -race ./internal/legality/
+	$(GO) test -race -run 'TestLegalityGate' .
+	$(GO) test ./internal/legality/ -run '^$$' -fuzz FuzzLegality -fuzztime 30s
+
+# bench-legality: time the whole-program legality analysis plus dynamic
+# cross-check over all seven paper workloads and record BENCH_8.json.
+LEGALITY_METRICS ?= legality-metrics.txt
+LEGALITY_JSON ?= BENCH_8.json
+bench-legality:
+	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkLegalitySweep' \
+		. | tee $(LEGALITY_METRICS)
+	$(GO) run ./cmd/benchjson -in $(LEGALITY_METRICS) -out $(LEGALITY_JSON)
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

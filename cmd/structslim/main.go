@@ -201,7 +201,9 @@ func main() {
 	}
 
 	if *doRegr {
-		rr, err := structslim.AnalyzeRegrouping(res, p, opt)
+		la, err := structslim.AttachLegality(rep, p)
+		fail(err)
+		rr, err := structslim.AnalyzeRegrouping(res, p, opt, la)
 		fail(err)
 		fmt.Println()
 		rr.RenderText(os.Stdout)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/legality"
 	"repro/internal/prog"
 	"repro/internal/sharing"
 	"repro/internal/staticlint"
@@ -26,14 +27,15 @@ import (
 func runVet(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
 	var (
-		name        = fs.String("workload", "", "workload to vet (see structslim -list)")
-		all         = fs.Bool("all", false, "vet every registered workload")
-		scale       = fs.String("scale", "test", "problem scale: test or bench")
-		period      = fs.Uint64("period", 2_000, "address-sampling period for the cross-check")
-		seed        = fs.Uint64("seed", 1, "sampling randomization seed")
-		staticOnly  = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
-		withSharing = fs.Bool("sharing", false, "also run the sharing & false-sharing analyzer with its coherence cross-check")
-		withReuse   = fs.Bool("reuse", false, "also predict per-nest reuse-distance histograms & miss ratios statically and verify them against an instrumented run")
+		name         = fs.String("workload", "", "workload to vet (see structslim -list)")
+		all          = fs.Bool("all", false, "vet every registered workload")
+		scale        = fs.String("scale", "test", "problem scale: test or bench")
+		period       = fs.Uint64("period", 2_000, "address-sampling period for the cross-check")
+		seed         = fs.Uint64("seed", 1, "sampling randomization seed")
+		staticOnly   = fs.Bool("static-only", false, "skip profiling; report static predictions and lint only")
+		withSharing  = fs.Bool("sharing", false, "also run the sharing & false-sharing analyzer with its coherence cross-check")
+		withReuse    = fs.Bool("reuse", false, "also predict per-nest reuse-distance histograms & miss ratios statically and verify them against an instrumented run")
+		withLegality = fs.Bool("legality", false, "also run the transform-legality (alias/escape) pass and replay the workload to cross-check its verdicts")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -63,7 +65,7 @@ func runVet(args []string, out io.Writer) error {
 		if len(targets) > 1 {
 			fmt.Fprintf(out, "=== %s ===\n", w.Name())
 		}
-		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, *withSharing, *withReuse, out)
+		ok, err := vetOne(w, sc, *period, *seed, *staticOnly, *withSharing, *withReuse, *withLegality, out)
 		if err != nil {
 			return fmt.Errorf("vet %s: %w", w.Name(), err)
 		}
@@ -77,7 +79,7 @@ func runVet(args []string, out io.Writer) error {
 	return nil
 }
 
-func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly, withSharing, withReuse bool, out io.Writer) (bool, error) {
+func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, staticOnly, withSharing, withReuse, withLegality bool, out io.Writer) (bool, error) {
 	p, phases, err := w.Build(nil, sc)
 	if err != nil {
 		return false, err
@@ -136,6 +138,28 @@ func vetOne(w workloads.Workload, sc workloads.Scale, period, seed uint64, stati
 			sr := sharing.CrossCheck(sa, obs)
 			sr.RenderText(out)
 			if sr.Failed() {
+				ok = false
+			}
+		}
+	}
+	if withLegality {
+		la, err := legality.AnalyzeProgram(p, a)
+		if err != nil {
+			return false, err
+		}
+		la.RenderText(out)
+		if rep != nil {
+			for _, sr := range rep.Structures {
+				sr.Legality = legality.SummaryFor(la, sr.Name, sr.TypeName)
+			}
+		}
+		if !staticOnly {
+			lrep, err := legality.CrossCheck(la, cache.DefaultConfig(), phases)
+			if err != nil {
+				return false, err
+			}
+			lrep.RenderText(out)
+			if lrep.Failed() {
 				ok = false
 			}
 		}

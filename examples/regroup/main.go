@@ -93,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rr, err := structslim.AnalyzeRegrouping(res, build(separate), opts)
+	rr, err := structslim.AnalyzeRegrouping(res, build(separate), opts, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,6 +108,15 @@ func (g *Graph) Dominators() []int {
 	return idom
 }
 
+// ReversePostorder returns the reachable blocks in reverse postorder —
+// the canonical deterministic sweep order for forward dataflow fixpoints
+// (staticlint's affine pass and legality's provenance pass both iterate
+// in it so their results are byte-stable across runs).
+func (g *Graph) ReversePostorder() []int {
+	order, _ := g.reversePostorder()
+	return order
+}
+
 // reversePostorder returns reachable blocks in reverse postorder, plus
 // each block's index in that order (-1 for unreachable).
 func (g *Graph) reversePostorder() (order []int, index []int) {

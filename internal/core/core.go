@@ -170,9 +170,35 @@ type StructReport struct {
 	// field false-shares with its own copies in neighboring elements.
 	KeepApart [][2]uint64
 
+	// Legality is the static transform-legality verdict for this
+	// structure, attached by callers running the legality pass (like
+	// KeepApart, it is not produced by the profiler itself). When set,
+	// Optimize consults it before building a split layout.
+	Legality *LegalitySummary
+
 	// debugFields caches the debug-info field layout for name lookups.
 	debugFields []prog.PhysField
 }
+
+// LegalitySummary condenses the alias/escape pass's per-object verdicts
+// for one structure type into what the splitting machinery needs. When a
+// type has several objects (a global array plus heap sites), the most
+// restrictive verdict wins and keep-together pairs are unioned.
+type LegalitySummary struct {
+	// Verdict is "split-safe", "keep-together", or "frozen".
+	Verdict string
+	// Reason is the principal evidence line for a restrictive verdict
+	// ("" for split-safe).
+	Reason string
+	// Pairs lists field-name pairs that must share a split group.
+	Pairs [][2]string
+	// AllFields means no split of this structure is useful: every field
+	// must stay in one group.
+	AllFields bool
+}
+
+// Frozen reports whether the verdict forbids any layout change.
+func (l *LegalitySummary) Frozen() bool { return l != nil && l.Verdict == "frozen" }
 
 // FieldReport aggregates one field (identified by offset) program-wide —
 // the paper's Table 5 rows.

@@ -104,6 +104,19 @@ func (sr *StructReport) renderText(w io.Writer) {
 	default:
 		fmt.Fprintf(w, "  Splitting advice:\n%s", indent(sr.Advice.RenderStructs(sr.debugFields), "    "))
 	}
+	if lg := sr.Legality; lg != nil {
+		fmt.Fprintf(w, "  Transform legality: %s", strings.ToUpper(lg.Verdict))
+		if lg.AllFields {
+			fmt.Fprintf(w, " {all fields}")
+		}
+		for _, p := range lg.Pairs {
+			fmt.Fprintf(w, " {%s,%s}", p[0], p[1])
+		}
+		fmt.Fprintln(w)
+		if lg.Reason != "" {
+			fmt.Fprintf(w, "    %s\n", lg.Reason)
+		}
+	}
 	fmt.Fprintln(w)
 }
 

@@ -1,0 +1,158 @@
+package legality
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// fuzzProgram decodes byte pairs into a loop-nest program over one typed
+// record array plus an untyped pointer-spill region. The op set is built
+// to wander the verdict lattice: field-local loads and stores (the
+// split-safe core), element-pointer computation with optional Xor
+// obfuscation (the frozen path — the Xor round-trips so the dynamic
+// address stays valid), pointer spills to memory at element or interior
+// offsets (the escape path), and reloads that chase the spilled pointer
+// at field offsets (the linked-structure idiom). Every address stays
+// inside the two globals by construction so the replay cannot fault.
+//
+// Byte pairs (op, arg), op%6: 0 load field, 1 store field, 2 open loop,
+// 3 close loop, 4 compute/obfuscate/spill an element pointer, 5 reload a
+// spilled pointer and dereference it.
+func fuzzProgram(data []byte) *prog.Program {
+	if len(data) < 2 || len(data) > 64 {
+		return nil
+	}
+	const n = 32
+	b := prog.NewBuilder("fuzz")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	scratch := b.Global("scratch", 64, -1)
+	b.Func("main", "fuzz.c")
+	base, sb, x, q, key := b.R(), b.R(), b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.GAddr(sb, scratch)
+	b.MovI(key, 0x33)
+	// Initialize every spill slot with a valid element pointer so a
+	// reload-and-dereference is never wild.
+	for s := int64(0); s < 8; s++ {
+		b.Store(base, sb, 0, 1, s*8, 8)
+	}
+
+	// Field starts and sizes of recType: a@0/8 b@8/8 len@16/4 crc@20/4.
+	fieldOff := [4]int64{0, 8, 16, 20}
+	fieldSz := [4]int{8, 8, 4, 4}
+
+	var ivs []isa.Reg
+	loops, pos := 0, 0
+	var walk func(depth int)
+	walk = func(depth int) {
+		for pos+1 < len(data) {
+			op, arg := data[pos], data[pos+1]
+			pos += 2
+			idx := isa.RZ
+			if len(ivs) > 0 {
+				idx = ivs[int(arg)%len(ivs)]
+			}
+			fi := int(arg) % 4
+			switch op % 6 {
+			case 0:
+				b.Load(x, base, idx, 24, fieldOff[fi], fieldSz[fi])
+			case 1:
+				b.Store(x, base, idx, 24, fieldOff[fi], fieldSz[fi])
+			case 2:
+				if depth >= 3 || loops >= 6 {
+					continue
+				}
+				loops++
+				iv := b.R()
+				trips := int64(arg%7) + 2
+				step := int64(arg%3) + 1
+				ivs = append(ivs, iv)
+				b.ForRange(iv, 0, trips*step, step, func() { walk(depth + 1) })
+				ivs = ivs[:len(ivs)-1]
+			case 3:
+				if depth > 0 {
+					return
+				}
+			case 4:
+				// q = &recs[iv] (+ a field offset when arg&4): an element
+				// or interior pointer.
+				b.MulI(q, idx, 24)
+				b.Add(q, q, base)
+				if arg&4 != 0 {
+					b.AddI(q, q, fieldOff[fi])
+				}
+				if arg&1 != 0 {
+					b.Xor(q, q, key) // tag …
+					b.Xor(q, q, key) // … and untag: same dynamic address
+				}
+				if arg&2 != 0 {
+					b.Store(q, sb, 0, 1, int64((arg>>3)%8)*8, 8) // spill
+				}
+				b.Load(x, q, 0, 1, 0, 4)
+			case 5:
+				b.Load(q, sb, 0, 1, int64((arg>>3)%8)*8, 8)
+				// Dereference within the element; 20+8 wraps into the
+				// next element, which stays in bounds (idx ≤ 27 < 31).
+				b.Load(x, q, 0, 1, int64(arg%2)*8, 8)
+			}
+		}
+	}
+	walk(0)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// FuzzLegality drives the pass over the generated program space. Three
+// invariants: the pass never panics or errors, two independent
+// build+analyze+render cycles are byte-identical, and — the soundness
+// gate — replaying the program under the cross-check observer never
+// contradicts a SplitSafe or KeepTogether claim.
+func FuzzLegality(f *testing.F) {
+	f.Add([]byte{2, 5, 0, 9, 1, 2, 3, 0})              // field-local loop
+	f.Add([]byte{2, 3, 4, 1, 3, 0})                    // xor-obfuscated pointer
+	f.Add([]byte{4, 2, 2, 4, 5, 8, 3, 0})              // spill then chase
+	f.Add([]byte{2, 2, 4, 6, 3, 0, 0, 1})              // interior spill
+	f.Add([]byte{2, 2, 2, 8, 0, 17, 1, 4, 3, 0, 5, 1}) // nest + reload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProgram(data)
+		if p == nil {
+			return
+		}
+		a, err := AnalyzeProgram(p, nil)
+		if err != nil {
+			t.Fatalf("AnalyzeProgram: %v", err)
+		}
+		var r1, r2 bytes.Buffer
+		a.RenderText(&r1)
+
+		p2 := fuzzProgram(data)
+		a2, err := AnalyzeProgram(p2, nil)
+		if err != nil {
+			t.Fatalf("AnalyzeProgram (rebuild): %v", err)
+		}
+		a2.RenderText(&r2)
+		if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+			t.Fatalf("verdicts not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+				r1.String(), r2.String())
+		}
+
+		rep, err := CrossCheck(a, cache.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatalf("CrossCheck: %v", err)
+		}
+		if rep.Failed() {
+			var buf bytes.Buffer
+			rep.RenderText(&buf)
+			t.Fatalf("soundness violation on input %v:\n%s\n%s", data, r1.String(), buf.String())
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package legality
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/prog"
+)
+
+// recType is the canonical 24-byte test record: a@0, b@8, len@16(4), crc@20(4).
+func recType() *prog.StructType {
+	return &prog.StructType{
+		Name: "rec",
+		Fields: []prog.PhysField{
+			{Name: "a", Offset: 0, Size: 8},
+			{Name: "b", Offset: 8, Size: 8},
+			{Name: "len", Offset: 16, Size: 4},
+			{Name: "crc", Offset: 20, Size: 4},
+		},
+		Size: 24, Align: 8,
+	}
+}
+
+func analyze(t *testing.T, p *prog.Program) *Analysis {
+	t.Helper()
+	a, err := AnalyzeProgram(p, nil)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	return a
+}
+
+func soleVerdict(t *testing.T, a *Analysis) *ObjectVerdict {
+	t.Helper()
+	if len(a.Objects) != 1 {
+		var buf bytes.Buffer
+		a.RenderText(&buf)
+		t.Fatalf("want 1 record object, got %d:\n%s", len(a.Objects), buf.String())
+	}
+	return a.Objects[0]
+}
+
+// TestSplitSafeAffineLoop: a plain field-local AoS sweep must be
+// SplitSafe with one stream per access instruction.
+func TestSplitSafeAffineLoop(t *testing.T) {
+	const n = 50
+	b := prog.NewBuilder("safe")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	b.Func("main", "safe.c")
+	base, i, x, y := b.R(), b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.ForRange(i, 0, n, 1, func() {
+		b.Load(x, base, i, 24, 0, 8)
+		b.Load(y, base, i, 24, 8, 8)
+		b.Add(x, x, y)
+		b.Store(x, base, i, 24, 16, 4)
+	})
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	v := soleVerdict(t, a)
+	if v.Verdict != SplitSafe {
+		var buf bytes.Buffer
+		a.RenderText(&buf)
+		t.Fatalf("verdict = %v, want split-safe:\n%s", v.Verdict, buf.String())
+	}
+	if v.Streams != 3 {
+		t.Errorf("streams = %d, want 3", v.Streams)
+	}
+}
+
+// TestKeepTogetherSpanningAccess: an 8-byte access covering two 4-byte
+// fields forces the pair into one group.
+func TestKeepTogetherSpanningAccess(t *testing.T) {
+	const n = 16
+	b := prog.NewBuilder("span")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	b.Func("main", "span.c")
+	base, i, x := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.ForRange(i, 0, n, 1, func() {
+		b.Load(x, base, i, 24, 16, 8) // covers len and crc at once
+		b.Store(x, base, i, 24, 0, 8)
+	})
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	v := soleVerdict(t, a)
+	if v.Verdict != KeepTogether {
+		t.Fatalf("verdict = %v, want keep-together", v.Verdict)
+	}
+	if len(v.Pairs) != 1 || v.Pairs[0] != [2]int{2, 3} {
+		t.Fatalf("pairs = %v, want [[2 3]]", v.Pairs)
+	}
+	// The verdict must survive the dynamic cross-check.
+	rep, err := CrossCheck(a, cache.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("CrossCheck: %v", err)
+	}
+	if rep.Failed() {
+		var buf bytes.Buffer
+		rep.RenderText(&buf)
+		t.Fatalf("cross-check failed:\n%s", buf.String())
+	}
+	if rep.Checked == 0 {
+		t.Fatal("cross-check saw no checked accesses")
+	}
+}
+
+// TestFrozenOpaqueFlow: a field address pushed through Xor and
+// dereferenced must freeze the object.
+func TestFrozenOpaqueFlow(t *testing.T) {
+	const n = 16
+	b := prog.NewBuilder("opaque")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	b.Func("main", "opaque.c")
+	base, i, q, key, x := b.R(), b.R(), b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.MovI(key, 0x5a)
+	b.ForRange(i, 0, n, 1, func() {
+		b.MulI(q, i, 24)
+		b.Add(q, q, base)
+		b.AddI(q, q, 20) // &recs[i].crc
+		b.Xor(q, q, key) // obfuscate
+		b.Xor(q, q, key) // deobfuscate: dynamically the same address
+		b.Load(x, q, 0, 1, 0, 4)
+	})
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	v := soleVerdict(t, a)
+	if v.Verdict != Frozen {
+		var buf bytes.Buffer
+		a.RenderText(&buf)
+		t.Fatalf("verdict = %v, want frozen:\n%s", v.Verdict, buf.String())
+	}
+	// Frozen objects carry no claims, so the replay must still pass.
+	rep, err := CrossCheck(a, cache.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("CrossCheck: %v", err)
+	}
+	if rep.Failed() {
+		t.Fatal("cross-check must not fail on a frozen object")
+	}
+}
+
+// TestFrozenFieldAddrEscape: storing an interior (field) pointer to
+// memory freezes the object even though the access itself is field-local.
+func TestFrozenFieldAddrEscape(t *testing.T) {
+	const n = 16
+	b := prog.NewBuilder("escape-store")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	slot := b.Global("slot", 8, -1)
+	b.Func("main", "escape.c")
+	base, sb, q := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.GAddr(sb, slot)
+	b.AddI(q, base, 8) // &recs[0].b — an interior pointer
+	b.Store(q, sb, 0, 1, 0, 8)
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	v := soleVerdict(t, a)
+	if v.Verdict != Frozen {
+		var buf bytes.Buffer
+		a.RenderText(&buf)
+		t.Fatalf("verdict = %v, want frozen:\n%s", v.Verdict, buf.String())
+	}
+}
+
+// TestPointerChaseStaysSafe: the linked-list idiom — whole-element
+// pointers stored to memory, reloaded, and dereferenced at field offsets
+// — must stay SplitSafe (this is TSP's tour loop in miniature).
+func TestPointerChaseStaysSafe(t *testing.T) {
+	const n = 8
+	b := prog.NewBuilder("chase")
+	tid := b.Type(recType())
+	head := b.Global("head", 8, -1)
+	b.Func("main", "chase.c")
+	hb, sz, node, prev, i, p, x := b.R(), b.R(), b.R(), b.R(), b.R(), b.R(), b.R()
+	b.GAddr(hb, head)
+	b.MovI(prev, 0)
+	b.MovI(sz, 24)
+	b.ForRange(i, 0, n, 1, func() {
+		b.Alloc(node, sz, tid)
+		b.Store(prev, node, 0, 1, 8, 8) // node.b = prev (next pointer in b)
+		b.Mov(prev, node)
+	})
+	b.Store(prev, hb, 0, 1, 0, 8)
+	b.Load(p, hb, 0, 1, 0, 8)
+	b.WhileNZ(p, func() {
+		b.Load(x, p, 0, 1, 0, 8) // p.a
+		b.Load(p, p, 0, 1, 8, 8) // p = p.b
+	})
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	v := soleVerdict(t, a)
+	if v.Verdict != SplitSafe {
+		var buf bytes.Buffer
+		a.RenderText(&buf)
+		t.Fatalf("verdict = %v, want split-safe:\n%s", v.Verdict, buf.String())
+	}
+	rep, err := CrossCheck(a, cache.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("CrossCheck: %v", err)
+	}
+	if rep.Failed() {
+		var buf bytes.Buffer
+		rep.RenderText(&buf)
+		t.Fatalf("cross-check failed:\n%s", buf.String())
+	}
+}
+
+// TestCrossCheckCatchesLies: corrupt the static footprints and the
+// replay must flag violations — the checker is live, not vacuous.
+func TestCrossCheckCatchesLies(t *testing.T) {
+	const n = 16
+	b := prog.NewBuilder("lies")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	b.Func("main", "lies.c")
+	base, i, x := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.ForRange(i, 0, n, 1, func() {
+		b.Load(x, base, i, 24, 8, 8)
+	})
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	if v := soleVerdict(t, a); v.Verdict != SplitSafe {
+		t.Fatalf("verdict = %v, want split-safe", v.Verdict)
+	}
+	for _, ia := range a.attrs {
+		for _, oa := range ia.objs {
+			oa.mask = 1 // claim field a; the loop really reads field b
+		}
+	}
+	rep, err := CrossCheck(a, cache.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("CrossCheck: %v", err)
+	}
+	if !rep.Failed() {
+		t.Fatal("corrupted footprints were not flagged")
+	}
+}
+
+// TestUnattributableAccessDemotesAll: a load through a register the pass
+// cannot trace to any object must drop every claim in the program.
+func TestUnattributableAccessDemotesAll(t *testing.T) {
+	const n = 16
+	b := prog.NewBuilder("wild")
+	tid := b.Type(recType())
+	g := b.Global("recs", n*24, tid)
+	b.Func("main", "wild.c")
+	base, x, w := b.R(), b.R(), b.R()
+	b.GAddr(base, g)
+	b.Load(x, base, 0, 1, 0, 8) // recs[0].a: would be split-safe alone
+	b.Load(x, w, 0, 1, 0, 8)    // w is never written: no provenance at all
+	b.Halt()
+	a := analyze(t, b.MustProgram())
+	if len(a.Demoted) == 0 {
+		t.Fatal("no program-level demotion recorded")
+	}
+	if v := soleVerdict(t, a); v.Verdict != Frozen {
+		t.Fatalf("verdict = %v, want frozen under program demotion", v.Verdict)
+	}
+}
+
+// TestDeterministicRender: two independent runs over the same program
+// must render byte-identical output.
+func TestDeterministicRender(t *testing.T) {
+	build := func() *prog.Program {
+		const n = 32
+		b := prog.NewBuilder("det")
+		tid := b.Type(recType())
+		g := b.Global("recs", n*24, tid)
+		pairTy := b.Type(&prog.StructType{
+			Name: "pair",
+			Fields: []prog.PhysField{
+				{Name: "lo", Offset: 0, Size: 4},
+				{Name: "hi", Offset: 4, Size: 4},
+			},
+			Size: 8, Align: 4,
+		})
+		h := b.Global("chk", 16*8, pairTy)
+		b.Func("main", "det.c")
+		base, hb, i, x, q, key := b.R(), b.R(), b.R(), b.R(), b.R(), b.R()
+		b.GAddr(base, g)
+		b.GAddr(hb, h)
+		b.MovI(key, 3)
+		b.ForRange(i, 0, 32, 1, func() {
+			b.Load(x, base, i, 24, 0, 8)
+			b.Store(x, base, i, 24, 8, 8)
+		})
+		b.ForRange(i, 0, 16, 1, func() {
+			b.Load(x, hb, i, 8, 0, 8) // spans lo+hi
+			b.Xor(q, x, key)
+			b.Store(q, hb, i, 8, 0, 4)
+		})
+		b.Halt()
+		return b.MustProgram()
+	}
+	var out [2]bytes.Buffer
+	for k := 0; k < 2; k++ {
+		a := analyze(t, build())
+		a.RenderText(&out[k])
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Fatalf("render not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			out[0].String(), out[1].String())
+	}
+	if out[0].Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,90 @@
+package legality
+
+// render.go renders verdicts for `structslim vet -legality`. The output
+// is byte-stable: objects are ordered by analysis object id (globals by
+// index, then allocation sites by IP) and reasons by (Field, Other,
+// FnID, IP) — the determinism test renders twice and compares bytes.
+
+import (
+	"fmt"
+	"io"
+)
+
+// tag is the render token for a verdict (greppable in CI).
+func (v Verdict) tag() string {
+	switch v {
+	case SplitSafe:
+		return "SPLIT-SAFE"
+	case KeepTogether:
+		return "KEEP-TOGETHER"
+	case Frozen:
+		return "FROZEN"
+	}
+	return "UNKNOWN"
+}
+
+// Counts tallies the verdicts.
+func (a *Analysis) Counts() (safe, keep, frozen int) {
+	for _, v := range a.Objects {
+		switch v.Verdict {
+		case SplitSafe:
+			safe++
+		case KeepTogether:
+			keep++
+		case Frozen:
+			frozen++
+		}
+	}
+	return
+}
+
+// RenderText writes the human-readable verdict listing.
+func (a *Analysis) RenderText(w io.Writer) {
+	safe, keep, frozen := a.Counts()
+	fmt.Fprintf(w, "legality: %s: %d record objects (%d split-safe, %d keep-together, %d frozen)\n",
+		a.Program.Name, len(a.Objects), safe, keep, frozen)
+	for _, v := range a.Objects {
+		fmt.Fprintf(w, "  %s (struct %s, %d fields, %d streams): %s",
+			v.Name, v.Type.Name, len(v.Type.Fields), v.Streams, v.Verdict.tag())
+		if v.Verdict == KeepTogether {
+			if v.AllFields {
+				fmt.Fprintf(w, " {all fields}")
+			} else {
+				fmt.Fprintf(w, " ")
+				for i, p := range v.PairNames() {
+					if i > 0 {
+						fmt.Fprintf(w, " ")
+					}
+					fmt.Fprintf(w, "{%s,%s}", p[0], p[1])
+				}
+			}
+		}
+		fmt.Fprintln(w)
+		for _, r := range v.Reasons {
+			fmt.Fprintf(w, "      %s%s\n", reasonPrefix(v, r), r.Msg)
+			if r.Where != "" {
+				fmt.Fprintf(w, "        at %s\n", r.Where)
+			}
+		}
+	}
+	if len(a.Demoted) > 0 {
+		fmt.Fprintf(w, "  program-level demotions:\n")
+		for _, r := range a.Demoted {
+			if r.Where != "" {
+				fmt.Fprintf(w, "      %s (at %s)\n", r.Msg, r.Where)
+			} else {
+				fmt.Fprintf(w, "      %s\n", r.Msg)
+			}
+		}
+	}
+}
+
+func reasonPrefix(v *ObjectVerdict, r Reason) string {
+	if r.Field < 0 || r.Field >= len(v.Type.Fields) {
+		return ""
+	}
+	if r.Other >= 0 && r.Other < len(v.Type.Fields) {
+		return fmt.Sprintf("%s+%s: ", v.Type.Fields[r.Field].Name, v.Type.Fields[r.Other].Name)
+	}
+	return fmt.Sprintf("%s: ", v.Type.Fields[r.Field].Name)
+}

@@ -1,0 +1,104 @@
+package legality
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestPaperWorkloadVerdicts runs the pass over every paper benchmark in
+// its original (AoS) layout and cross-checks each verdict dynamically:
+// zero violations is the hard soundness gate. The hot record of each
+// workload must not be frozen — the paper splits all seven by hand, so a
+// frozen hot record would mean the pass is too blunt to be useful.
+func TestPaperWorkloadVerdicts(t *testing.T) {
+	for _, w := range workloads.Paper() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			a, err := AnalyzeProgram(p, nil)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			var buf bytes.Buffer
+			a.RenderText(&buf)
+			t.Logf("\n%s", buf.String())
+
+			rec := w.Record()
+			hotFrozen := true
+			for _, v := range a.Objects {
+				if v.Type.Name == rec.Name && v.Verdict != Frozen {
+					hotFrozen = false
+				}
+			}
+			if len(a.Objects) == 0 {
+				t.Fatal("no record objects found")
+			}
+			if hotFrozen {
+				t.Errorf("every %s object is frozen; the pass is too conservative", rec.Name)
+			}
+
+			vmPhases := make([][]vm.ThreadSpec, len(phases))
+			for i, ph := range phases {
+				vmPhases[i] = ph
+			}
+			rep, err := CrossCheck(a, cache.DefaultConfig(), vmPhases)
+			if err != nil {
+				t.Fatalf("CrossCheck: %v", err)
+			}
+			var rb bytes.Buffer
+			rep.RenderText(&rb)
+			t.Logf("\n%s", rb.String())
+			if rep.Failed() {
+				t.Errorf("dynamic cross-check violated static claims:\n%s", rb.String())
+			}
+			if rep.Checked == 0 && len(a.Objects) > 0 {
+				nonFrozen := 0
+				for _, v := range a.Objects {
+					if v.Verdict != Frozen {
+						nonFrozen++
+					}
+				}
+				if nonFrozen > 0 {
+					t.Error("cross-check never exercised a checked object")
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadVerdictDeterminism renders every registered workload's
+// verdicts twice from independent builds and analyses; output must be
+// byte-identical.
+func TestWorkloadVerdictDeterminism(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.Record() == nil {
+			continue
+		}
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			var out [2]bytes.Buffer
+			for k := 0; k < 2; k++ {
+				p, _, err := w.Build(nil, workloads.ScaleTest)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				a, err := AnalyzeProgram(p, nil)
+				if err != nil {
+					t.Fatalf("analyze: %v", err)
+				}
+				a.RenderText(&out[k])
+			}
+			if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+				t.Fatalf("verdicts not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+					out[0].String(), out[1].String())
+			}
+		})
+	}
+}

@@ -35,6 +35,11 @@ type Options struct {
 	// MaxStride is the largest dominant stream stride a candidate may
 	// have and still count as a dense array (default 64, one line).
 	MaxStride uint64
+	// Frozen is the set of identities the transform-legality pass
+	// refused to touch (legality.FrozenIdentities). Frozen arrays are
+	// excluded from clustering — interleaving moves their elements just
+	// like splitting would — and reported as skipped.
+	Frozen map[uint64]bool
 }
 
 // DefaultOptions returns the defaults.
@@ -77,6 +82,9 @@ type Report struct {
 	Candidates   []Candidate
 	// Groups lists only multi-array clusters: the actionable advice.
 	Groups []Group
+	// Skipped lists arrays that qualified as candidates but were frozen
+	// by the legality pass and so excluded from the advice.
+	Skipped []Candidate
 	// Affinity exposes the pairwise values for reporting.
 	Affinity *affinity.Matrix
 }
@@ -127,8 +135,9 @@ func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, e
 		}
 	}
 
-	// Candidates: hot enough and dense enough.
-	var candidates []Candidate
+	// Candidates: hot enough and dense enough — and not frozen by the
+	// legality pass.
+	var candidates, skipped []Candidate
 	isCandidate := make(map[uint64]bool)
 	for ident, lat := range latency {
 		ld := 0.0
@@ -139,17 +148,26 @@ func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, e
 		if !ok || stride > opt.MaxStride || ld < opt.MinLd {
 			continue
 		}
-		candidates = append(candidates, Candidate{
+		c := Candidate{
 			Identity: ident, Name: name[ident], LatencySum: lat, Ld: ld, Stride: stride,
-		})
+		}
+		if opt.Frozen[ident] {
+			skipped = append(skipped, c)
+			continue
+		}
+		candidates = append(candidates, c)
 		isCandidate[ident] = true
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].LatencySum != candidates[j].LatencySum {
-			return candidates[i].LatencySum > candidates[j].LatencySum
+	byHeat := func(cs []Candidate) func(i, j int) bool {
+		return func(i, j int) bool {
+			if cs[i].LatencySum != cs[j].LatencySum {
+				return cs[i].LatencySum > cs[j].LatencySum
+			}
+			return cs[i].Identity < cs[j].Identity
 		}
-		return candidates[i].Identity < candidates[j].Identity
-	})
+	}
+	sort.Slice(candidates, byHeat(candidates))
+	sort.Slice(skipped, byHeat(skipped))
 
 	// Equation 7 over identities: co-occurrence within loops.
 	ab := affinity.NewBuilder()
@@ -174,6 +192,7 @@ func Analyze(p *profile.Profile, program *prog.Program, opt Options) (*Report, e
 		Program:      program.Name,
 		TotalLatency: p.TotalLatency,
 		Candidates:   candidates,
+		Skipped:      skipped,
 		Affinity:     matrix,
 	}
 	byIdent := make(map[uint64]Candidate, len(candidates))
@@ -201,6 +220,10 @@ func (r *Report) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "  Dense-array candidates:\n")
 	for _, c := range r.Candidates {
 		fmt.Fprintf(w, "    %-32s stride %-3d  l_d=%5.1f%%\n", c.Name, c.Stride, 100*c.Ld)
+	}
+	for _, c := range r.Skipped {
+		fmt.Fprintf(w, "    %-32s stride %-3d  l_d=%5.1f%%  SKIPPED (frozen by legality pass)\n",
+			c.Name, c.Stride, 100*c.Ld)
 	}
 	if len(r.Groups) == 0 {
 		fmt.Fprintf(w, "  No regrouping opportunity found.\n")

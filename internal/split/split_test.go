@@ -66,6 +66,86 @@ func TestLayoutFromAdvice(t *testing.T) {
 	}
 }
 
+func TestLayoutFromGroupsCheckedNilSummary(t *testing.T) {
+	// No legality analysis → identical to the unchecked path.
+	l, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a", "c"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumArrays() != 3 || l.Place("a").Arr != l.Place("c").Arr {
+		t.Errorf("nil summary changed the layout: %v", l)
+	}
+	if _, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a", "zz"}}, nil); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestLayoutFromGroupsCheckedFrozen(t *testing.T) {
+	lg := &core.LegalitySummary{Verdict: "frozen", Reason: "pointer passes through xor (at x.c:3)"}
+	_, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a", "c"}}, lg)
+	if err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("frozen structure split anyway: %v", err)
+	}
+	if !strings.Contains(err.Error(), "xor") {
+		t.Errorf("error does not carry the reason: %v", err)
+	}
+	if _, err := LayoutFromAdviceChecked(rec(t),
+		&core.SplitAdvice{StructName: "r", Groups: [][]string{{"a"}, {"b"}}}, lg); err == nil {
+		t.Error("frozen structure split via advice path")
+	}
+}
+
+func TestLayoutFromGroupsCheckedMergesPairs(t *testing.T) {
+	// The advice separates a|c from b, but legality demands {a,b} and
+	// {c,d} stay together: the three groups collapse into one (a,c,b via
+	// the pair a-b, then d via c-d).
+	lg := &core.LegalitySummary{
+		Verdict: "keep-together",
+		Pairs:   [][2]string{{"a", "b"}, {"c", "d"}},
+	}
+	l, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a", "c"}, {"b"}}, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Place("a").Arr != l.Place("b").Arr {
+		t.Errorf("pair {a,b} separated: %v", l)
+	}
+	if l.Place("c").Arr != l.Place("d").Arr {
+		t.Errorf("pair {c,d} separated (d was a cold singleton): %v", l)
+	}
+	if l.Place("a").Arr != l.Place("c").Arr {
+		t.Errorf("advice group {a,c} broken by the merge: %v", l)
+	}
+
+	// A pair between two otherwise-independent groups merges just those.
+	lg = &core.LegalitySummary{Verdict: "keep-together", Pairs: [][2]string{{"b", "d"}}}
+	l, err = LayoutFromGroupsChecked(rec(t), [][]string{{"a"}, {"b"}, {"c"}}, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Place("b").Arr != l.Place("d").Arr {
+		t.Errorf("pair {b,d} separated: %v", l)
+	}
+	if l.Place("a").Arr == l.Place("b").Arr || l.Place("a").Arr == l.Place("c").Arr {
+		t.Errorf("unconstrained groups merged needlessly: %v", l)
+	}
+	if _, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a"}},
+		&core.LegalitySummary{Verdict: "keep-together", Pairs: [][2]string{{"a", "zz"}}}); err == nil {
+		t.Error("pair naming an unknown field accepted")
+	}
+}
+
+func TestLayoutFromGroupsCheckedAllFields(t *testing.T) {
+	lg := &core.LegalitySummary{Verdict: "keep-together", AllFields: true}
+	l, err := LayoutFromGroupsChecked(rec(t), [][]string{{"a"}, {"b"}, {"c"}, {"d"}}, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.IsSplit() {
+		t.Errorf("all-fields constraint still split the record: %v", l)
+	}
+}
+
 func TestLayoutFromAdviceRejectsUnresolvedOffsets(t *testing.T) {
 	adv := &core.SplitAdvice{
 		StructName: "r",

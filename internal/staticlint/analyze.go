@@ -782,6 +782,34 @@ func (sp *StreamPred) BaseOf() (BaseObject, bool) {
 	return BaseObject{}, false
 }
 
+// OffsetResidue reduces an Exact stream's address template to the
+// congruence class of element offsets it can touch inside a structure of
+// the given size: every effective address of the stream satisfies
+// (EA - base) mod structSize ≡ off (mod m), where m divides structSize.
+// m == 0 means the stream touches exactly one offset (loop-invariant
+// address, or all loop coefficients are multiples of the size). ok is
+// false for non-Exact streams, whose base and displacement are not
+// trustworthy. The legality pass uses this to map each attributed access
+// onto a per-field footprint.
+func (sp *StreamPred) OffsetResidue(structSize uint64) (off, m uint64, ok bool) {
+	if sp.Confidence != Exact || structSize == 0 {
+		return 0, 0, false
+	}
+	if _, resolved := sp.BaseOf(); !resolved {
+		return 0, 0, false
+	}
+	// Stride is the GCD of the loop coefficients; offsets therefore lie
+	// in Disp + Stride·Z, which reduces to a class mod gcd(Stride, size).
+	m = gcd64(sp.Stride, structSize)
+	if m == structSize {
+		m = 0 // every reachable offset lands on the same element offset
+	}
+	if m == 0 {
+		return umod(sp.Disp, structSize), 0, true
+	}
+	return umod(sp.Disp, m), m, true
+}
+
 // StreamAt returns the prediction for the memory instruction at ip, or
 // nil.
 func (a *Analysis) StreamAt(ip uint64) *StreamPred {

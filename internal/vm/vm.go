@@ -290,6 +290,25 @@ func (m *Machine) SetCoherenceObserver(o cache.CoherenceObserver) {
 	m.Caches.SetCoherenceObserver(o)
 }
 
+// RunAll executes a sequence of phases back to back on the same machine
+// (same address space and caches) and returns the final phase's
+// statistics. A nil or empty phase list runs the program entry function
+// once — the convention every verification-run helper shares.
+func (m *Machine) RunAll(phases [][]ThreadSpec) (Stats, error) {
+	if len(phases) == 0 {
+		phases = [][]ThreadSpec{{{Fn: m.Prog.EntryFn}}}
+	}
+	var last Stats
+	for _, ph := range phases {
+		st, err := m.Run(ph)
+		if err != nil {
+			return Stats{}, err
+		}
+		last = st
+	}
+	return last, nil
+}
+
 // Run executes the given threads to completion and returns run statistics.
 func (m *Machine) Run(specs []ThreadSpec) (Stats, error) {
 	if len(specs) == 0 {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/legality"
 	"repro/internal/pebs"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -276,8 +277,10 @@ func ProfileAndAnalyze(p *prog.Program, phases []Phase, opt Options) (*RunResult
 }
 
 // AnalyzeRegrouping runs the array-regrouping analysis (the paper's
-// stated future work; see internal/regroup) over a profiled run.
-func AnalyzeRegrouping(res *RunResult, p *prog.Program, opt Options) (*regroup.Report, error) {
+// stated future work; see internal/regroup) over a profiled run. When a
+// legality analysis is supplied (may be nil), frozen arrays are excluded
+// from the clustering and reported as skipped.
+func AnalyzeRegrouping(res *RunResult, p *prog.Program, opt Options, la *legality.Analysis) (*regroup.Report, error) {
 	if res == nil || res.Profile == nil {
 		return nil, fmt.Errorf("nil run result")
 	}
@@ -288,16 +291,38 @@ func AnalyzeRegrouping(res *RunResult, p *prog.Program, opt Options) (*regroup.R
 	if opt.Analysis.MinLd != 0 {
 		ropt.MinLd = opt.Analysis.MinLd
 	}
+	if la != nil {
+		ropt.Frozen = legality.FrozenIdentities(la, res.Profile)
+	}
 	return regroup.Analyze(res.Profile, p, ropt)
+}
+
+// AttachLegality runs the transform-legality pass over the program and
+// attaches a verdict summary to every analyzed structure in the report,
+// so Optimize can refuse unsound splits and renderers can show the
+// verdict. Returns the full analysis for callers that want the
+// per-object detail or a dynamic cross-check.
+func AttachLegality(rep *core.Report, p *prog.Program) (*legality.Analysis, error) {
+	a, err := legality.AnalyzeProgram(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range rep.Structures {
+		sr.Legality = legality.SummaryFor(a, sr.Name, sr.TypeName)
+	}
+	return a, nil
 }
 
 // Optimize converts a structure's splitting advice into a physical layout
 // for the given record, completing the partition with any cold fields.
+// If a legality verdict is attached to the report (AttachLegality), the
+// layout is gated on it: frozen structures are refused and keep-together
+// constraints merge the advice's groups.
 func Optimize(rec *prog.RecordSpec, sr *core.StructReport) (*prog.PhysLayout, error) {
 	if sr == nil {
 		return nil, fmt.Errorf("nil structure report")
 	}
-	return split.LayoutFromAdvice(rec, sr.Advice)
+	return split.LayoutFromAdviceChecked(rec, sr.Advice, sr.Legality)
 }
 
 // FindStruct locates the analyzed structure whose debug type or display
