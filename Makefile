@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke reuse-check bench-analytic analytic-gate bench-stat stat-gate stat-check vet-legality legality-check bench-legality
+.PHONY: all build test race lint fmt fuzz bench bench-smoke bench-gate vet-sharing stream-smoke bench-stream stream-gate reuse-check bench-analytic analytic-gate bench-stat stat-gate stat-check vet-legality legality-check bench-legality
 
 all: build lint test
 
@@ -106,6 +106,36 @@ bench-legality:
 	$(GO) test -run '^$$' -benchtime 3x -bench 'BenchmarkLegalitySweep' \
 		. | tee $(LEGALITY_METRICS)
 	$(GO) run ./cmd/benchjson -in $(LEGALITY_METRICS) -out $(LEGALITY_JSON)
+
+# bench-stream: measure the streaming-ingest transports — in-process
+# direct, the PR-5 gob one-request-per-batch HTTP path, and the pipelined
+# binary framing — and record BENCH_9.json (samples/sec, allocs/sample,
+# bytes/sample per transport). -count 2 lets benchjson keep the best run.
+STREAM_METRICS ?= stream-metrics.txt
+STREAM_JSON ?= BENCH_9.json
+bench-stream:
+	$(GO) test -run '^$$' -benchtime 5x -count 2 \
+		-bench 'BenchmarkStreamIngest' . | tee $(STREAM_METRICS)
+	$(GO) run ./cmd/benchjson -in $(STREAM_METRICS) -out $(STREAM_JSON)
+
+# stream-gate: the streaming acceptance gate. First the sharded
+# differential suite under the race detector — any byte-level mismatch
+# between online, snapshot-derived, and batch reports at any shard count
+# or batch size fails the build. Then re-measure ingest and fail when the
+# binary transport's samples/sec regressed more than 15% against the
+# committed BENCH_9.json, or its allocs/sample doubled (the ≤1
+# alloc/sample acceptance bound sits far above the ~0.15 baseline).
+stream-gate:
+	$(GO) test -race -run 'TestStreamingMatchesBatch|TestStreamingShardedConcurrent' \
+		./internal/stream/
+	$(GO) test -run '^$$' -benchtime 5x -count 2 \
+		-bench 'BenchmarkStreamIngest' . | tee /tmp/stream-gate.txt
+	$(GO) run ./cmd/benchjson -gate -in /tmp/stream-gate.txt -baseline $(STREAM_JSON) \
+		-bench BenchmarkStreamIngest/binary -metric samples/sec \
+		-higher-is-better -max-regress 15
+	$(GO) run ./cmd/benchjson -gate -in /tmp/stream-gate.txt -baseline $(STREAM_JSON) \
+		-bench BenchmarkStreamIngest/binary -metric allocs/sample \
+		-max-regress 100
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -151,11 +151,16 @@ func stripProcs(name string) string {
 }
 
 // lowerIsBetter classifies a metric unit by its direction of goodness:
-// times and per-op costs (ns/op, B/op, allocs/op, anything ns/… or …/op)
-// improve downward; everything else — the custom speedup ratios this repo
-// reports (x-vs-reference, x-vs-serial) — improves upward.
+// times and per-op/per-sample costs (ns/op, B/op, allocs/op, and the
+// streaming bench's allocs/sample and bytes/sample — anything ns/…,
+// …/op, or …/sample) improve downward; everything else — the custom
+// ratios this repo reports (x-vs-reference, x-vs-serial, samples/sec) —
+// improves upward. Best-of-N merging and gating both use this, so a
+// per-sample cost regression gates as a regression, not an improvement.
 func lowerIsBetter(unit string) bool {
-	return strings.Contains(unit, "ns/") || strings.HasSuffix(unit, "/op")
+	return strings.Contains(unit, "ns/") ||
+		strings.HasSuffix(unit, "/op") ||
+		strings.HasSuffix(unit, "/sample")
 }
 
 // mergeRuns collapses repeated result lines for the same benchmark

@@ -36,7 +36,9 @@ func TestParseBench(t *testing.T) {
 func TestLowerIsBetter(t *testing.T) {
 	for unit, want := range map[string]bool{
 		"ns/op": true, "B/op": true, "allocs/op": true, "ns/sample": true,
+		"allocs/sample": true, "bytes/sample": true,
 		"x-vs-reference": false, "x-vs-serial": false, "speedup": false,
+		"samples/sec": false,
 	} {
 		if got := lowerIsBetter(unit); got != want {
 			t.Errorf("lowerIsBetter(%q) = %v, want %v", unit, got, want)

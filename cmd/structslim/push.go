@@ -7,9 +7,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/profile"
 	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/workloads"
@@ -19,22 +22,32 @@ import (
 // runPush profiles a workload locally and replays its per-thread sample
 // streams to a `structslim serve` instance over HTTP — the zero-to-demo
 // client of the streaming service, and the reference implementation of
-// the wire protocol (one session per thread, object table on the first
-// batch, cycle accounts on the last, 429 backpressure honored).
+// the wire protocol: one session per thread, object table on the first
+// batch, cycle accounts on the last, 429 backpressure honored with
+// capped exponential backoff.
 //
-//	structslim push -workload art [-addr 127.0.0.1:7080] [-batch 256] [-selftest]
+// The client is pipelined: sessions push concurrently over persistent
+// connections, and each request carries a window of -window consecutive
+// batches (one request per batch was the PR-5 protocol; windowing keeps
+// a session's batches ordered while cutting the round trips by the
+// window size). Encode buffers are pooled across requests.
+//
+//	structslim push -workload art [-addr 127.0.0.1:7080] [-batch 256] [-window 8] [-selftest]
 func runPush(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("push", flag.ContinueOnError)
 	var (
-		name      = fs.String("workload", "", "workload to profile and push")
-		scale     = fs.String("scale", "test", "problem scale: test or bench")
-		addr      = fs.String("addr", "127.0.0.1:7080", "server address")
-		period    = fs.Uint64("period", 10_000, "address-sampling period in memory accesses")
-		seed      = fs.Uint64("seed", 1, "sampling randomization seed")
-		batchSize = fs.Int("batch", 256, "samples per pushed batch")
-		ndjson    = fs.Bool("ndjson", false, "push NDJSON instead of gob")
-		wait      = fs.Duration("wait", 10*time.Second, "how long to retry connecting to the server")
-		selftest  = fs.Bool("selftest", false, "fetch the server's reports and diff them against the local batch analysis")
+		name       = fs.String("workload", "", "workload to profile and push")
+		scale      = fs.String("scale", "test", "problem scale: test or bench")
+		addr       = fs.String("addr", "127.0.0.1:7080", "server address")
+		period     = fs.Uint64("period", 10_000, "address-sampling period in memory accesses")
+		seed       = fs.Uint64("seed", 1, "sampling randomization seed")
+		batchSize  = fs.Int("batch", 256, "samples per pushed batch")
+		window     = fs.Int("window", 8, "batches sent per request (in-flight batch window)")
+		codec      = fs.String("codec", "binary", "wire format: binary, gob, or ndjson")
+		ndjson     = fs.Bool("ndjson", false, "push NDJSON instead of binary (alias for -codec ndjson)")
+		maxRetries = fs.Int("max-retries", 10, "consecutive 429 retries per request before giving up")
+		wait       = fs.Duration("wait", 10*time.Second, "how long to retry connecting to the server")
+		selftest   = fs.Bool("selftest", false, "fetch the server's reports and diff them against the local batch analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +57,13 @@ func runPush(args []string, out io.Writer) error {
 	}
 	if *batchSize <= 0 {
 		return fmt.Errorf("push: -batch must be positive")
+	}
+	if *window <= 0 {
+		return fmt.Errorf("push: -window must be positive")
+	}
+	ct, err := contentTypeFor(*codec, *ndjson)
+	if err != nil {
+		return err
 	}
 
 	w, err := workloads.Get(*name)
@@ -64,54 +84,40 @@ func runPush(args []string, out io.Writer) error {
 		return err
 	}
 
-	ct := server.ContentTypeGob
-	if *ndjson {
-		ct = server.ContentTypeNDJSON
-	}
 	base := "http://" + *addr
 	if err := waitForServer(base, *wait); err != nil {
 		return err
 	}
 
-	pushed, batches := 0, 0
+	// Persistent connections: one shared transport with enough idle slots
+	// that every session keeps its connection alive between requests.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        len(res.ThreadProfiles) + 2,
+		MaxIdleConnsPerHost: len(res.ThreadProfiles) + 2,
+	}}
+	pusher := &pusher{client: client, base: base, ct: ct, maxRetries: *maxRetries}
+
+	// Sessions are independent ordered streams, so they push in parallel;
+	// within a session, requests go out serially to preserve batch order.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(res.ThreadProfiles))
 	for _, tp := range res.ThreadProfiles {
-		session := fmt.Sprintf("push-t%03d", tp.TID)
-		n := len(tp.Samples)
-		var seq uint64
-		for start := 0; start < n || start == 0; start += *batchSize {
-			end := start + *batchSize
-			if end > n {
-				end = n
+		wg.Add(1)
+		go func(tp *profile.ThreadProfile) {
+			defer wg.Done()
+			session := fmt.Sprintf("push-t%03d", tp.TID)
+			if err := pusher.pushSession(session, "push", tp, *batchSize, *window); err != nil {
+				errs <- fmt.Errorf("push: session %s: %w", session, err)
 			}
-			b := stream.Batch{
-				Session: session,
-				Process: "push",
-				TID:     int32(tp.TID),
-				Period:  tp.Period,
-				Seq:     seq,
-				Samples: tp.Samples[start:end],
-			}
-			if start == 0 {
-				b.Objects = tp.Objects
-			}
-			if end == n {
-				b.AppCycles = tp.AppCycles
-				b.OverheadCycles = tp.OverheadCycles
-				b.MemOps = tp.MemOps
-			}
-			if err := postBatch(base, ct, b); err != nil {
-				return fmt.Errorf("push: session %s batch %d: %w", session, seq, err)
-			}
-			pushed += end - start
-			batches++
-			seq++
-			if end == n {
-				break
-			}
-		}
+		}(tp)
 	}
-	fmt.Fprintf(out, "structslim push: %d samples in %d batches (%d sessions) to %s\n",
-		pushed, batches, len(res.ThreadProfiles), base)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "structslim push: %d samples in %d batches (%d sessions, %d/request) to %s\n",
+		pusher.samples.Load(), pusher.batches.Load(), len(res.ThreadProfiles), *window, base)
 
 	if !*selftest {
 		return nil
@@ -139,15 +145,106 @@ func runPush(args []string, out io.Writer) error {
 	return nil
 }
 
-// postBatch sends one batch, honoring 429 + Retry-After backpressure.
-func postBatch(base, ct string, b stream.Batch) error {
-	var body bytes.Buffer
-	if err := server.EncodeBatches(&body, ct, []stream.Batch{b}); err != nil {
-		return err
+func contentTypeFor(codec string, ndjson bool) (string, error) {
+	if ndjson {
+		codec = "ndjson"
 	}
-	payload := body.Bytes()
-	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(base+"/v1/samples", ct, bytes.NewReader(payload))
+	switch codec {
+	case "binary":
+		return server.ContentTypeBinary, nil
+	case "gob":
+		return server.ContentTypeGob, nil
+	case "ndjson":
+		return server.ContentTypeNDJSON, nil
+	default:
+		return "", fmt.Errorf("push: unknown codec %q (want binary, gob, or ndjson)", codec)
+	}
+}
+
+// pusher holds the shared client state of one push run.
+type pusher struct {
+	client     *http.Client
+	base       string
+	ct         string
+	maxRetries int
+
+	bufs    sync.Pool // *bytes.Buffer, reused across requests
+	samples atomic.Int64
+	batches atomic.Int64
+}
+
+// pushSession replays one thread profile as an ordered batch stream:
+// object table on the first batch, cycle accounts on the last, windows of
+// up to `window` batches per request.
+func (p *pusher) pushSession(session, process string, tp *profile.ThreadProfile, batchSize, window int) error {
+	var pending []stream.Batch
+	n := len(tp.Samples)
+	var seq uint64
+	for start := 0; start < n || start == 0; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		b := stream.Batch{
+			Session: session,
+			Process: process,
+			TID:     int32(tp.TID),
+			Period:  tp.Period,
+			Seq:     seq,
+			Samples: tp.Samples[start:end],
+		}
+		if start == 0 {
+			b.Objects = tp.Objects
+		}
+		if end == n {
+			b.AppCycles = tp.AppCycles
+			b.OverheadCycles = tp.OverheadCycles
+			b.MemOps = tp.MemOps
+		}
+		pending = append(pending, b)
+		p.samples.Add(int64(end - start))
+		seq++
+		if len(pending) == window {
+			if err := p.postWindow(pending); err != nil {
+				return err
+			}
+			pending = pending[:0]
+		}
+		if end == n {
+			break
+		}
+	}
+	if len(pending) > 0 {
+		return p.postWindow(pending)
+	}
+	return nil
+}
+
+// postWindow sends one window of batches, honoring 429 + Retry-After
+// backpressure: the server reports how many batches of the request it
+// accepted (X-Accepted-Batches), the client drops that prefix, sleeps
+// max(Retry-After, capped exponential backoff), and resends the rest.
+// The retry counter resets whenever the server makes progress; after
+// maxRetries consecutive no-progress rejections the push fails.
+func (p *pusher) postWindow(batches []stream.Batch) error {
+	buf, _ := p.bufs.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = new(bytes.Buffer)
+	}
+	defer p.bufs.Put(buf)
+
+	const (
+		baseBackoff = 100 * time.Millisecond
+		maxBackoff  = 10 * time.Second
+	)
+	retries := 0
+	backoff := baseBackoff
+	for {
+		buf.Reset()
+		if err := server.EncodeBatches(buf, p.ct, batches); err != nil {
+			return err
+		}
+		resp, err := p.client.Post(p.base+"/v1/samples", p.ct, bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			return err
 		}
@@ -155,18 +252,38 @@ func postBatch(base, ct string, b stream.Batch) error {
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted:
+			p.batches.Add(int64(len(batches)))
 			return nil
 		case http.StatusTooManyRequests:
-			if attempt > 100 {
-				return fmt.Errorf("giving up after %d backpressure retries", attempt)
+			// The server enqueues a request's batches in order, so the
+			// accepted count is a resumable prefix.
+			accepted := 0
+			if v, err := strconv.Atoi(resp.Header.Get("X-Accepted-Batches")); err == nil && v > 0 {
+				if v > len(batches) {
+					v = len(batches)
+				}
+				accepted = v
 			}
-			delay := time.Second
+			p.batches.Add(int64(accepted))
+			batches = batches[accepted:]
+			if accepted > 0 {
+				retries, backoff = 0, baseBackoff
+			} else {
+				retries++
+				if retries > p.maxRetries {
+					return fmt.Errorf("giving up after %d consecutive backpressure rejections", retries-1)
+				}
+			}
+			delay := backoff
 			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				delay = time.Duration(ra) * time.Second
+				if d := time.Duration(ra) * time.Second; d > delay {
+					delay = d
+				}
 			}
-			// The server queues whole requests; with one batch per request
-			// a rejected POST took nothing, so resending is exact.
 			time.Sleep(delay)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 		default:
 			return fmt.Errorf("server returned %s", resp.Status)
 		}

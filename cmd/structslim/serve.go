@@ -34,6 +34,7 @@ func runServe(args []string, out io.Writer) error {
 		scale      = fs.String("scale", "test", "problem scale the pushed program was built at: test or bench")
 		addr       = fs.String("addr", "127.0.0.1:7080", "listen address")
 		queue      = fs.Int("queue", 64, "per-session ingest queue depth (batches)")
+		shards     = fs.Int("shards", 8, "session-partitioned analyzer shards (1 = unsharded; results are identical at any count)")
 		maxStreams = fs.Int("max-streams", 0, "bound live streams per session, LRU-evicting cold ones (0 = unbounded)")
 		maxIdents  = fs.Int("max-identities", 0, "bound tracked identities per session (0 = unbounded)")
 		dropSamp   = fs.Bool("drop-samples", false, "do not retain raw samples (disables /v1/snapshot; reports stay exact)")
@@ -49,6 +50,7 @@ func runServe(args []string, out io.Writer) error {
 		MaxStreams:    *maxStreams,
 		MaxIdentities: *maxIdents,
 		DropSamples:   *dropSamp,
+		Shards:        *shards,
 		Analysis:      core.Options{TopK: *topK, AffinityThreshold: *thresh},
 	}
 	an, err := newAnalyzer(*name, *scale, conf)

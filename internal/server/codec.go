@@ -11,18 +11,23 @@ import (
 	"repro/internal/stream"
 )
 
-// Wire formats for sample-batch ingest. Both carry a sequence of
+// Wire formats for sample-batch ingest. All carry a sequence of
 // stream.Batch values:
 //
+//   - binary (ContentTypeBinary): length-prefixed fixed-width frames, one
+//     per batch (binary.go) — the high-throughput format the pipelined
+//     `structslim push` client uses, decodable into pooled backing arrays
+//     with zero per-sample allocations;
 //   - gob (ContentTypeGob): a single gob-encoded []stream.Batch — the
-//     compact binary format `structslim push` uses;
+//     original compact format, kept for compatibility;
 //   - NDJSON (ContentTypeNDJSON): one JSON-encoded batch per line — the
 //     debuggable format for hand-rolled clients (curl, scripts).
 //
-// Both codecs are canonical: decoding and re-encoding an encoded value
-// reproduces it byte-identically (gob emits type info deterministically
-// for a fixed type; JSON re-marshals struct fields in declaration
-// order), which the fuzz test pins down.
+// All codecs are canonical: decoding and re-encoding an encoded value
+// reproduces it byte-identically (the binary framing is a pure function
+// of the batch and rejects length/count mismatches; gob emits type info
+// deterministically for a fixed type; JSON re-marshals struct fields in
+// declaration order), which the fuzz test pins down.
 
 // Content types accepted by POST /v1/samples.
 const (
@@ -34,6 +39,8 @@ const (
 // content type.
 func DecodeBatches(r io.Reader, contentType string) ([]stream.Batch, error) {
 	switch normalizeContentType(contentType) {
+	case ContentTypeBinary:
+		return decodeBinary(r, nil)
 	case ContentTypeGob:
 		var bs []stream.Batch
 		if err := gob.NewDecoder(r).Decode(&bs); err != nil {
@@ -60,14 +67,16 @@ func DecodeBatches(r io.Reader, contentType string) ([]stream.Batch, error) {
 		}
 		return bs, nil
 	default:
-		return nil, fmt.Errorf("unsupported content type %q (want %s or %s)",
-			contentType, ContentTypeGob, ContentTypeNDJSON)
+		return nil, fmt.Errorf("unsupported content type %q (want %s, %s, or %s)",
+			contentType, ContentTypeBinary, ContentTypeGob, ContentTypeNDJSON)
 	}
 }
 
 // EncodeBatches writes batches in the given content type.
 func EncodeBatches(w io.Writer, contentType string, bs []stream.Batch) error {
 	switch normalizeContentType(contentType) {
+	case ContentTypeBinary:
+		return encodeBinary(w, bs)
 	case ContentTypeGob:
 		return gob.NewEncoder(w).Encode(bs)
 	case ContentTypeNDJSON:

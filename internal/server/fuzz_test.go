@@ -9,10 +9,12 @@ import (
 	"repro/internal/stream"
 )
 
-// FuzzIngestDecode drives both wire codecs with arbitrary bytes: the
-// decoder must never panic, and any input it accepts must round-trip —
-// decode → encode → decode → encode yields byte-identical encodings, so
-// a relayed (proxied, spooled) batch stream is bit-stable.
+// FuzzIngestDecode drives all three wire codecs with arbitrary bytes:
+// the decoder must never panic, and any input it accepts must round-trip
+// — decode → encode → decode → encode yields byte-identical encodings,
+// so a relayed (proxied, spooled) batch stream is bit-stable. Accepted
+// binary input is additionally relayed through the gob codec and back:
+// the binary framing may not lose or alter anything gob carries.
 func FuzzIngestDecode(f *testing.F) {
 	seedBatches := []stream.Batch{
 		{
@@ -28,7 +30,7 @@ func FuzzIngestDecode(f *testing.F) {
 		},
 		{Session: "s1", Period: 1},
 	}
-	for _, ct := range []string{server.ContentTypeGob, server.ContentTypeNDJSON} {
+	for _, ct := range []string{server.ContentTypeGob, server.ContentTypeNDJSON, server.ContentTypeBinary} {
 		var buf bytes.Buffer
 		if err := server.EncodeBatches(&buf, ct, seedBatches); err != nil {
 			f.Fatal(err)
@@ -37,6 +39,7 @@ func FuzzIngestDecode(f *testing.F) {
 	}
 	f.Add(server.ContentTypeNDJSON, []byte("not json\n"))
 	f.Add(server.ContentTypeGob, []byte{0xff, 0x00, 0x01})
+	f.Add(server.ContentTypeBinary, []byte("SSB1truncated"))
 	f.Add("text/unknown", []byte{})
 
 	f.Fuzz(func(t *testing.T, ct string, data []byte) {
@@ -58,6 +61,25 @@ func FuzzIngestDecode(f *testing.F) {
 		}
 		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
 			t.Errorf("encode→decode→encode not byte-identical for %s", ct)
+		}
+		if ct == server.ContentTypeBinary {
+			// Relay through gob and back: a batch stream spooled in one
+			// codec and replayed in the other must stay bit-stable.
+			var viaGob bytes.Buffer
+			if err := server.EncodeBatches(&viaGob, server.ContentTypeGob, bs); err != nil {
+				t.Fatalf("gob encode of accepted binary input failed: %v", err)
+			}
+			bs3, err := server.DecodeBatches(bytes.NewReader(viaGob.Bytes()), server.ContentTypeGob)
+			if err != nil {
+				t.Fatalf("gob decode of relayed batches failed: %v", err)
+			}
+			var enc3 bytes.Buffer
+			if err := server.EncodeBatches(&enc3, server.ContentTypeBinary, bs3); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1.Bytes(), enc3.Bytes()) {
+				t.Error("binary→gob→binary relay not byte-identical")
+			}
 		}
 	})
 }

@@ -63,8 +63,16 @@ type Server struct {
 	ingestErrors atomic.Uint64
 }
 
+// queued is one enqueued batch plus the release hook that returns its
+// arena-backed sample storage to the decode pool after ingest (nil for
+// the non-pooled codecs).
+type queued struct {
+	b    stream.Batch
+	done func()
+}
+
 type sessionQueue struct {
-	ch chan stream.Batch
+	ch chan queued
 }
 
 // New wraps an analyzer in an ingest server.
@@ -91,8 +99,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // enqueue routes one batch to its session queue, spawning the session's
-// worker on first sight. Returns false when the queue is full.
-func (s *Server) enqueue(b stream.Batch) (bool, error) {
+// worker on first sight. Returns false when the queue is full; the
+// caller keeps ownership of done unless the batch was accepted.
+func (s *Server) enqueue(b stream.Batch, done func()) (bool, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -100,13 +109,13 @@ func (s *Server) enqueue(b stream.Batch) (bool, error) {
 	}
 	q := s.queues[b.Session]
 	if q == nil {
-		q = &sessionQueue{ch: make(chan stream.Batch, s.conf.QueueDepth)}
+		q = &sessionQueue{ch: make(chan queued, s.conf.QueueDepth)}
 		s.queues[b.Session] = q
 		s.wg.Add(1)
 		go s.worker(q)
 	}
 	select {
-	case q.ch <- b:
+	case q.ch <- queued{b: b, done: done}:
 		s.pending++
 		s.mu.Unlock()
 		return true, nil
@@ -121,12 +130,15 @@ func (s *Server) enqueue(b stream.Batch) (bool, error) {
 // parallel (the analyzer locks per session).
 func (s *Server) worker(q *sessionQueue) {
 	defer s.wg.Done()
-	for b := range q.ch {
+	for e := range q.ch {
 		if s.conf.IngestDelay != nil {
 			s.conf.IngestDelay()
 		}
-		if err := s.an.Ingest(b); err != nil {
+		if err := s.an.Ingest(e.b); err != nil {
 			s.ingestErrors.Add(1)
+		}
+		if e.done != nil {
+			e.done()
 		}
 		s.mu.Lock()
 		s.pending--
@@ -168,25 +180,41 @@ func (s *Server) Drain() {
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
-	batches, err := DecodeBatches(r.Body, r.Header.Get("Content-Type"))
+	batches, arena, err := DecodeBatchesArena(r.Body, r.Header.Get("Content-Type"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	accepted := 0
-	for _, b := range batches {
-		if b.Session == "" || b.Period == 0 {
+	// Validate everything before enqueueing anything: a malformed batch
+	// must never leave a prefix of its request ingested.
+	for i := range batches {
+		if batches[i].Session == "" || batches[i].Period == 0 {
+			s.releaseFrom(arena, batches, 0)
 			http.Error(w, "batch without session or period", http.StatusBadRequest)
 			return
 		}
-		ok, err := s.enqueue(b)
+	}
+	if len(batches) == 0 {
+		http.Error(w, "empty request: no batches", http.StatusBadRequest)
+		return
+	}
+	var done func()
+	if arena != nil {
+		done = arena.Release
+	}
+	accepted := 0
+	for i := range batches {
+		b := batches[i]
+		ok, err := s.enqueue(b, done)
 		if err != nil {
+			s.releaseFrom(arena, batches, i)
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		if !ok {
 			// Backpressure: report how much of the request was taken so
 			// the client can resend the rest after Retry-After.
+			s.releaseFrom(arena, batches, i)
 			s.rejected.Add(1)
 			w.Header().Set("Retry-After", fmt.Sprint(s.conf.RetryAfter))
 			w.Header().Set("X-Accepted-Batches", fmt.Sprint(accepted))
@@ -198,6 +226,17 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		s.samplesTotal.Add(uint64(len(b.Samples)))
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// releaseFrom drops the arena references of batches[from:] — the ones the
+// handler still owns because they were never handed to a worker.
+func (s *Server) releaseFrom(arena *Arena, batches []stream.Batch, from int) {
+	if arena == nil {
+		return
+	}
+	for range batches[from:] {
+		arena.Release()
+	}
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -74,10 +75,14 @@ func renderBytes(t *testing.T, rep *core.Report) []byte {
 }
 
 // TestStreamingMatchesBatch is the core differential: for every paper
-// workload and several batch sizes, the streaming analyzer's snapshot,
-// online report, and snapshot-analyzed report must all match the batch
-// pipeline.
+// workload, shard count, and batch size, the streaming analyzer's
+// snapshot, online report, and snapshot-analyzed report must all match
+// the batch pipeline. The shard dimension is the acceptance gate for the
+// session-partitioned analyzer: partitioning the session directory may
+// not change a single byte at any shard count.
 func TestStreamingMatchesBatch(t *testing.T) {
+	shardCounts := []int{1, 4, 16}
+	sizes := []int{1, 17, 512}
 	for _, name := range workloads.PaperOrder {
 		t.Run(name, func(t *testing.T) {
 			w, err := workloads.Get(name)
@@ -98,40 +103,133 @@ func TestStreamingMatchesBatch(t *testing.T) {
 			}
 			want := renderBytes(t, batchRep)
 
-			sizes := []int{17, 512}
-			if name == "art" {
-				sizes = append(sizes, 1)
+			for _, shards := range shardCounts {
+				for _, bs := range sizes {
+					t.Run(fmt.Sprintf("shards%d/batch%d", shards, bs), func(t *testing.T) {
+						a, err := stream.New(p, stream.Config{Shards: shards})
+						if err != nil {
+							t.Fatal(err)
+						}
+						feed(t, a, res, "p0", bs)
+
+						// Snapshot materialization is the expensive check;
+						// one batch size per shard count covers it (the
+						// online state it reads is batching-insensitive,
+						// which the report checks below prove per size).
+						if bs == 17 {
+							snap, err := a.Snapshot()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(snap, res.Profile) {
+								t.Error("snapshot differs from batch merged profile")
+							}
+							snapRep, err := core.Analyze(snap, p, diffOpt.Analysis)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := renderBytes(t, snapRep); !bytes.Equal(got, want) {
+								t.Error("snapshot-analyzed report differs from batch report")
+							}
+						}
+
+						onlineRep, err := a.Report()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := renderBytes(t, onlineRep); !bytes.Equal(got, want) {
+							t.Errorf("online report differs from batch report\n--- online ---\n%s\n--- batch ---\n%s", got, want)
+						}
+					})
+				}
 			}
-			for _, bs := range sizes {
-				t.Run(fmt.Sprintf("batch%d", bs), func(t *testing.T) {
-					a, err := stream.New(p, stream.Config{})
-					if err != nil {
-						t.Fatal(err)
-					}
-					feed(t, a, res, "p0", bs)
+		})
+	}
+}
 
-					snap, err := a.Snapshot()
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !reflect.DeepEqual(snap, res.Profile) {
-						t.Error("snapshot differs from batch merged profile")
-					}
+// TestStreamingShardedConcurrent ingests every session from its own
+// goroutine into a sharded analyzer — the server's actual concurrency
+// shape — and requires the report to stay byte-identical. Run under
+// -race (make stream-gate, CI) this also proves the sharded hot path is
+// data-race-free, not merely deterministic.
+func TestStreamingShardedConcurrent(t *testing.T) {
+	for _, name := range []string{"art", "clomp"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, phases, err := w.Build(nil, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := structslim.ProfileRun(p, phases, diffOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchRep, err := core.Analyze(res.Profile, p, diffOpt.Analysis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderBytes(t, batchRep)
 
-					onlineRep, err := a.Report()
+			for _, shards := range []int{1, 16} {
+				t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+					a, err := stream.New(p, stream.Config{Shards: shards})
 					if err != nil {
 						t.Fatal(err)
 					}
-					if got := renderBytes(t, onlineRep); !bytes.Equal(got, want) {
-						t.Errorf("online report differs from batch report\n--- online ---\n%s\n--- batch ---\n%s", got, want)
+					var wg sync.WaitGroup
+					errc := make(chan error, len(res.ThreadProfiles))
+					for _, tp := range res.ThreadProfiles {
+						wg.Add(1)
+						go func(tp *profile.ThreadProfile) {
+							defer wg.Done()
+							n := len(tp.Samples)
+							var seq uint64
+							for start := 0; start < n || start == 0; start += 17 {
+								end := start + 17
+								if end > n {
+									end = n
+								}
+								b := stream.Batch{
+									Session: fmt.Sprintf("p0-t%03d", tp.TID),
+									Process: "p0",
+									TID:     int32(tp.TID),
+									Period:  tp.Period,
+									Seq:     seq,
+									Samples: tp.Samples[start:end],
+								}
+								if start == 0 {
+									b.Objects = tp.Objects
+								}
+								if end == n {
+									b.AppCycles = tp.AppCycles
+									b.OverheadCycles = tp.OverheadCycles
+									b.MemOps = tp.MemOps
+								}
+								if err := a.Ingest(b); err != nil {
+									errc <- err
+									return
+								}
+								seq++
+								if end == n {
+									break
+								}
+							}
+						}(tp)
 					}
-
-					snapRep, err := core.Analyze(snap, p, diffOpt.Analysis)
+					wg.Wait()
+					close(errc)
+					if err := <-errc; err != nil {
+						t.Fatal(err)
+					}
+					rep, err := a.Report()
 					if err != nil {
 						t.Fatal(err)
 					}
-					if got := renderBytes(t, snapRep); !bytes.Equal(got, want) {
-						t.Error("snapshot-analyzed report differs from batch report")
+					if got := renderBytes(t, rep); !bytes.Equal(got, want) {
+						t.Error("concurrent sharded report differs from batch report")
 					}
 				})
 			}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -86,27 +87,51 @@ type Config struct {
 	DropSamples bool
 	// MergeWorkers bounds snapshot merge parallelism.
 	MergeWorkers int
+	// Shards partitions sessions across independent shard locks by an
+	// identity hash of the session id, so concurrent sessions never
+	// contend on a shared map lock in the ingest hot path. 0 or 1 keeps a
+	// single shard. Shard count never changes results: Snapshot and
+	// Report gather sessions from every shard and merge them in the
+	// canonical (process, TID, id) order.
+	Shards int
 	// Analysis tunes report building.
 	Analysis core.Options
 }
 
 // Analyzer is the concurrent online analyzer. Sessions ingest under their
-// own locks, so distinct sessions do not contend.
+// own locks and the session directory itself is sharded, so distinct
+// sessions contend on nothing in the hot path.
 type Analyzer struct {
 	conf    Config
 	program *prog.Program
 	loops   *cfg.ProgramLoops
 
+	// period is the sampling period adopted from the first batch (0 until
+	// then); atomic because any shard's first session may set it.
+	period atomic.Uint64
+
+	shards []*shard
+}
+
+// shard is one partition of the session directory. Sessions hash to a
+// shard by session id, so every per-batch lookup takes only its shard's
+// read lock — no analyzer-wide lock exists.
+type shard struct {
 	mu       sync.RWMutex
 	sessions map[string]*session
-	period   uint64
 }
 
 // New creates an analyzer for samples of the given program. The program
 // may be nil: ingestion, Live, and Snapshot still work, but Report (which
 // needs loop recovery and debug info) returns an error.
 func New(program *prog.Program, conf Config) (*Analyzer, error) {
-	a := &Analyzer{conf: conf, program: program, sessions: make(map[string]*session)}
+	if conf.Shards <= 0 {
+		conf.Shards = 1
+	}
+	a := &Analyzer{conf: conf, shards: make([]*shard, conf.Shards), program: program}
+	for i := range a.shards {
+		a.shards[i] = &shard{sessions: make(map[string]*session)}
+	}
 	if program != nil {
 		loops, err := cfg.AnalyzeLoops(program)
 		if err != nil {
@@ -115,6 +140,19 @@ func New(program *prog.Program, conf Config) (*Analyzer, error) {
 		a.loops = loops
 	}
 	return a, nil
+}
+
+// shardFor hashes a session id to its shard (FNV-1a).
+func (a *Analyzer) shardFor(session string) *shard {
+	if len(a.shards) == 1 {
+		return a.shards[0]
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(session); i++ {
+		h ^= uint64(session[i])
+		h *= 1099511628211
+	}
+	return a.shards[h%uint64(len(a.shards))]
 }
 
 // streamEntry is one live stream with its LRU links.
@@ -206,20 +244,23 @@ func (a *Analyzer) Ingest(b Batch) error {
 }
 
 func (a *Analyzer) getSession(b *Batch) (*session, error) {
-	a.mu.RLock()
-	s := a.sessions[b.Session]
-	a.mu.RUnlock()
+	sh := a.shardFor(b.Session)
+	sh.mu.RLock()
+	s := sh.sessions[b.Session]
+	sh.mu.RUnlock()
 	if s != nil {
 		return s, nil
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.period == 0 {
-		a.period = b.Period
-	} else if a.period != b.Period {
-		return nil, fmt.Errorf("stream: period %d differs from %d", b.Period, a.period)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Adopt the analyzer-wide period with a CAS: the first session of any
+	// shard may race to set it, and every later session must agree.
+	if !a.period.CompareAndSwap(0, b.Period) {
+		if p := a.period.Load(); p != b.Period {
+			return nil, fmt.Errorf("stream: period %d differs from %d", b.Period, p)
+		}
 	}
-	if s = a.sessions[b.Session]; s != nil {
+	if s = sh.sessions[b.Session]; s != nil {
 		return s, nil
 	}
 	s = &session{
@@ -232,7 +273,7 @@ func (a *Analyzer) getSession(b *Batch) (*session, error) {
 		identTouch: make(map[uint64]uint64),
 		objByID:    make(map[int32]*profile.ObjInfo),
 	}
-	a.sessions[b.Session] = s
+	sh.sessions[b.Session] = s
 	return s, nil
 }
 
@@ -360,16 +401,20 @@ func (s *session) evictColdestIdentity(keep uint64) {
 	s.evictedIdentities++
 }
 
-// sortedSessions returns the sessions ordered by (process, TID, id) — the
-// canonical merge order, matching the batch profiler's ascending-thread
-// reduction.
+// sortedSessions returns the sessions of every shard ordered by
+// (process, TID, id) — the canonical merge order, matching the batch
+// profiler's ascending-thread reduction. Gathering then sorting is what
+// makes Snapshot and Report independent of the shard count: the merge
+// never sees which shard a session lived on.
 func (a *Analyzer) sortedSessions() []*session {
-	a.mu.RLock()
-	out := make([]*session, 0, len(a.sessions))
-	for _, s := range a.sessions {
-		out = append(out, s)
+	var out []*session
+	for _, sh := range a.shards {
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
 	}
-	a.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].process != out[j].process {
 			return out[i].process < out[j].process
@@ -536,11 +581,10 @@ func (a *Analyzer) AnalysisOptions() core.Options { return a.conf.Analysis }
 
 // Period returns the sampling period adopted from the first batch (0
 // before any ingest).
-func (a *Analyzer) Period() uint64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.period
-}
+func (a *Analyzer) Period() uint64 { return a.period.Load() }
+
+// Shards returns the configured shard count.
+func (a *Analyzer) Shards() int { return len(a.shards) }
 
 // SessionInfo is one session's ingest bookkeeping, for metrics.
 type SessionInfo struct {
