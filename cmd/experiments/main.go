@@ -34,6 +34,7 @@ func main() {
 		statErr  = flag.Bool("staterror", false, "run the statistical-mode fidelity sweep (advice error vs window W)")
 		baseline = flag.Bool("baselines", false, "compare sampling against instrumentation baselines on ART")
 		cases    = flag.Bool("casestudies", false, "run the beyond-paper case studies (mcf, streamcluster)")
+		optim    = flag.Bool("optimize", false, "run the measured A/B layout selection on art, tsp, and health")
 		scale    = flag.String("scale", "test", "problem scale: test or bench")
 		period   = flag.Uint64("period", 10_000, "address-sampling period")
 		seed     = flag.Uint64("seed", 1, "sampling randomization seed")
@@ -150,8 +151,14 @@ func main() {
 	if *all || *cases {
 		fail(eng.CaseStudies(out))
 	}
+	if *all || *optim {
+		results, err := tables.RankedGroupings(opt, []string{"art", "tsp", "health"})
+		fail(err)
+		tables.WriteRankedGroupings(out, results)
+		fmt.Fprintln(out)
+	}
 
-	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*statErr && !*baseline && !*cases {
+	if !*all && *table == 0 && *figure == 0 && !*accuracy && !*robust && !*statErr && !*baseline && !*cases && !*optim {
 		stopProfiles()
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -figure N, or -accuracy")
 		os.Exit(2)

@@ -23,6 +23,12 @@
 //
 //	structslim serve -workload art -addr 127.0.0.1:7080
 //	structslim push -workload art -addr 127.0.0.1:7080 -selftest
+//
+// The optimize subcommand closes the loop: it enumerates legal candidate
+// layouts from the analysis, measures every variant on the experiment
+// engine, and prints the ranked table plus the exact-confirmed winner:
+//
+//	structslim optimize -workload art [-exact] [-parallel 8]
 package main
 
 import (
@@ -49,6 +55,9 @@ func main() {
 			return
 		case "push":
 			fail(runPush(os.Args[2:], os.Stdout))
+			return
+		case "optimize":
+			fail(runOptimize(os.Args[2:], os.Stdout))
 			return
 		}
 	}

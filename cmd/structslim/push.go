@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/optimize"
 	"repro/internal/profile"
 	"repro/internal/server"
 	"repro/internal/stream"
@@ -48,6 +50,7 @@ func runPush(args []string, out io.Writer) error {
 		maxRetries = fs.Int("max-retries", 10, "consecutive 429 retries per request before giving up")
 		wait       = fs.Duration("wait", 10*time.Second, "how long to retry connecting to the server")
 		selftest   = fs.Bool("selftest", false, "fetch the server's reports and diff them against the local batch analysis")
+		doOpt      = fs.Bool("optimize", false, "after the push, ask the server to run the layout optimizer (POST /v1/optimize) and print the ranked table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +121,22 @@ func runPush(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "structslim push: %d samples in %d batches (%d sessions, %d/request) to %s\n",
 		pusher.samples.Load(), pusher.batches.Load(), len(res.ThreadProfiles), *window, base)
+
+	if *doOpt {
+		// The server reruns the A/B selection loop over everything it has
+		// ingested and returns the ranked groupings; rendering the wire
+		// form here reproduces the server-side table exactly.
+		body, err := httpPost(base + "/v1/optimize")
+		if err != nil {
+			return fmt.Errorf("optimize: %w", err)
+		}
+		var oj optimize.ResultJSON
+		if err := json.Unmarshal(body, &oj); err != nil {
+			return fmt.Errorf("optimize: decoding response: %w", err)
+		}
+		fmt.Fprintln(out)
+		oj.RenderText(out)
+	}
 
 	if !*selftest {
 		return nil
@@ -305,6 +324,22 @@ func waitForServer(base string, wait time.Duration) error {
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
+}
+
+func httpPost(url string) ([]byte, error) {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
 }
 
 func httpGet(url string) ([]byte, error) {

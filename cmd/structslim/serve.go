@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -40,12 +41,18 @@ func runServe(args []string, out io.Writer) error {
 		dropSamp   = fs.Bool("drop-samples", false, "do not retain raw samples (disables /v1/snapshot; reports stay exact)")
 		topK       = fs.Int("topk", 3, "data structures to analyze in depth")
 		thresh     = fs.Float64("affinity", 0.5, "affinity clustering threshold")
-		finalRep   = fs.Bool("final-report", true, "print the report after draining on shutdown")
+		optPar     = fs.Int("optimize-parallel", runtime.GOMAXPROCS(0),
+			"worker pool for POST /v1/optimize candidate measurements (results identical at any value)")
+		finalRep = fs.Bool("final-report", true, "print the report after draining on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	sc := workloads.ScaleTest
+	if *scale == "bench" {
+		sc = workloads.ScaleBench
+	}
 	conf := stream.Config{
 		MaxStreams:    *maxStreams,
 		MaxIdentities: *maxIdents,
@@ -53,11 +60,19 @@ func runServe(args []string, out io.Writer) error {
 		Shards:        *shards,
 		Analysis:      core.Options{TopK: *topK, AffinityThreshold: *thresh},
 	}
-	an, err := newAnalyzer(*name, *scale, conf)
+	w, an, err := newAnalyzer(*name, sc, conf)
 	if err != nil {
 		return err
 	}
-	srv := server.New(an, server.Config{QueueDepth: *queue})
+	sconf := server.Config{QueueDepth: *queue}
+	if w != nil && w.Record() != nil {
+		// The workload declares a record, so the server can also run the
+		// layout optimizer against the pushed profile.
+		sconf.Optimize = w
+		sconf.OptimizeScale = sc
+		sconf.OptimizeParallel = *optPar
+	}
+	srv := server.New(an, sconf)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -97,21 +112,19 @@ func runServe(args []string, out io.Writer) error {
 // newAnalyzer builds the streaming analyzer, rebuilding the named
 // workload's binary so reports resolve loops and field names. An empty
 // name runs without the binary (ingest, live view, and snapshot only).
-func newAnalyzer(name, scale string, conf stream.Config) (*stream.Analyzer, error) {
+func newAnalyzer(name string, sc workloads.Scale, conf stream.Config) (workloads.Workload, *stream.Analyzer, error) {
 	if name == "" {
-		return stream.New(nil, conf)
+		an, err := stream.New(nil, conf)
+		return nil, an, err
 	}
 	w, err := workloads.Get(name)
 	if err != nil {
-		return nil, err
-	}
-	sc := workloads.ScaleTest
-	if scale == "bench" {
-		sc = workloads.ScaleBench
+		return nil, nil, err
 	}
 	p, _, err := w.Build(nil, sc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return stream.New(p, conf)
+	an, err := stream.New(p, conf)
+	return w, an, err
 }

@@ -1,0 +1,157 @@
+package optimize
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/affinity"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/split"
+)
+
+// fuzzReport decodes a fuzzer byte stream into a (record, report) pair:
+// the record's field count and sizes, per-field latencies, co-access
+// loops for the affinity matrix, a legality verdict, keep-together
+// pairs, advice groups, and KeepApart flags all come from the input.
+func fuzzReport(data []byte) (*prog.RecordSpec, *core.StructReport) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nf := int(next())%7 + 1
+	fields := make([]prog.Field, nf)
+	sizes := []int{1, 2, 4, 8, 16, 48}
+	for i := range fields {
+		fields[i] = prog.Field{Name: fmt.Sprintf("f%d", i), Size: sizes[int(next())%len(sizes)]}
+	}
+	rec, err := prog.NewRecord("fz", fields...)
+	if err != nil {
+		return nil, nil
+	}
+	aos := prog.AoS(rec)
+
+	sr := &core.StructReport{Name: "fz", TypeName: "fz"}
+	ab := affinity.NewBuilder()
+	for i, f := range rec.Fields {
+		lat := uint64(next())*257 + 1
+		off := uint64(aos.Place(f.Name).Offset)
+		sr.Fields = append(sr.Fields, core.FieldReport{Offset: off, Name: f.Name, LatencySum: lat})
+		ab.Add(uint64(next())%4, affinity.FieldID(off), lat)
+		if i%2 == 0 {
+			ab.Add(uint64(next())%4, affinity.FieldID(off), uint64(next()))
+		}
+	}
+	sr.Affinity = ab.Compute()
+
+	verdicts := []string{"split-safe", "keep-together", "frozen"}
+	leg := &core.LegalitySummary{Verdict: verdicts[int(next())%len(verdicts)], Reason: "fuzzed"}
+	for n := int(next()) % 3; n > 0; n-- {
+		a, b := int(next())%nf, int(next())%nf
+		if a != b {
+			leg.Pairs = append(leg.Pairs, [2]string{rec.Fields[a].Name, rec.Fields[b].Name})
+		}
+	}
+	leg.AllFields = next()%4 == 0
+	sr.Legality = leg
+
+	if next()%2 == 0 {
+		adv := &core.SplitAdvice{StructName: "fz"}
+		used := map[int]bool{}
+		for n := int(next())%nf + 1; n > 0; n-- {
+			var g []string
+			for m := int(next())%3 + 1; m > 0; m-- {
+				i := int(next()) % nf
+				if !used[i] {
+					used[i] = true
+					g = append(g, rec.Fields[i].Name)
+				}
+			}
+			if next()%8 == 0 {
+				g = append(g, fmt.Sprintf("+%d", next())) // unresolved positional
+			}
+			if len(g) > 0 {
+				adv.Groups = append(adv.Groups, g)
+			}
+		}
+		sr.Advice = adv
+	}
+	if next()%2 == 0 {
+		sr.KeepApart = append(sr.KeepApart, [2]uint64{0, 8})
+	}
+	return rec, sr
+}
+
+// FuzzOptimizeEnumerator drives Enumerate over fabricated reports. The
+// invariants: no panic; a frozen verdict yields zero candidates; every
+// candidate is a well-formed layout of the record whose Key matches;
+// keep-together pairs are never separated; dedup holds (no repeated Key,
+// and the baseline is never emitted); and enumeration is deterministic.
+func FuzzOptimizeEnumerator(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 9, 9, 9, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{1, 0})
+	f.Add([]byte{7, 5, 5, 5, 5, 5, 5, 5, 200, 1, 100, 2, 50, 3, 25, 0, 12, 1, 6, 2, 3, 3, 1, 0, 2, 0, 1, 255})
+	f.Add([]byte{4, 3, 3, 3, 3, 8, 0, 7, 1, 6, 2, 5, 3, 1, 2, 0, 1, 1, 2, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, sr := fuzzReport(data)
+		if rec == nil {
+			return
+		}
+		cands, frozen, err := Enumerate(rec, sr, EnumOptions{})
+		if err != nil {
+			t.Fatalf("Enumerate: %v", err)
+		}
+		if sr.Legality.Frozen() {
+			if len(cands) != 0 {
+				t.Fatalf("frozen verdict produced %d candidates", len(cands))
+			}
+			if frozen == "" {
+				t.Fatal("frozen verdict without a reason")
+			}
+			return
+		}
+		baseKey := split.Key(prog.AoS(rec))
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if c.Layout == nil {
+				t.Fatalf("candidate %s has no layout", c.Label)
+			}
+			if got := split.Key(c.Layout); got != c.Key {
+				t.Fatalf("candidate %s: key %q != layout key %q", c.Label, c.Key, got)
+			}
+			if c.Key == baseKey {
+				t.Fatalf("candidate %s duplicates the baseline", c.Label)
+			}
+			if seen[c.Key] {
+				t.Fatalf("duplicate candidate layout %s", c.Layout)
+			}
+			seen[c.Key] = true
+			for _, f := range rec.Fields {
+				c.Layout.Place(f.Name) // panics on an unplaced field
+			}
+			for _, pair := range sr.Legality.Pairs {
+				if c.Layout.Place(pair[0]).Arr != c.Layout.Place(pair[1]).Arr {
+					t.Fatalf("candidate %s separates keep-together pair %v: %s", c.Label, pair, c.Layout)
+				}
+			}
+		}
+		// Stable dedup: the same report enumerates identically.
+		again, _, err := Enumerate(rec, sr, EnumOptions{})
+		if err != nil {
+			t.Fatalf("re-Enumerate: %v", err)
+		}
+		if len(again) != len(cands) {
+			t.Fatalf("re-enumeration: %d vs %d candidates", len(again), len(cands))
+		}
+		for i := range cands {
+			if cands[i].Label != again[i].Label || cands[i].Key != again[i].Key {
+				t.Fatalf("candidate %d unstable: %s/%s vs %s/%s",
+					i, cands[i].Label, cands[i].Key, again[i].Label, again[i].Key)
+			}
+		}
+	})
+}

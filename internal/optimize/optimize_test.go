@@ -1,0 +1,201 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/affinity"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/split"
+)
+
+// testRecord builds the enumerator's canonical test subject: four
+// scalar fields with distinct offsets.
+func testRecord(t *testing.T) *prog.RecordSpec {
+	t.Helper()
+	rec, err := prog.NewRecord("rec",
+		prog.Field{Name: "a", Size: 8},
+		prog.Field{Name: "b", Size: 8},
+		prog.Field{Name: "c", Size: 8},
+		prog.Field{Name: "d", Size: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// testReport fabricates a StructReport over the record: a hottest, d
+// coldest, a/b co-accessed (one loop), c/d co-accessed (another).
+func testReport(rec *prog.RecordSpec) *core.StructReport {
+	ab := affinity.NewBuilder()
+	aos := prog.AoS(rec)
+	offs := make(map[string]uint64, len(rec.Fields))
+	for _, f := range rec.Fields {
+		offs[f.Name] = uint64(aos.Place(f.Name).Offset)
+	}
+	ab.Add(1, affinity.FieldID(offs["a"]), 4000)
+	ab.Add(1, affinity.FieldID(offs["b"]), 1000)
+	ab.Add(2, affinity.FieldID(offs["c"]), 500)
+	ab.Add(2, affinity.FieldID(offs["d"]), 100)
+	sr := &core.StructReport{
+		Name:     "rec",
+		TypeName: "rec",
+		Affinity: ab.Compute(),
+		Advice:   &core.SplitAdvice{StructName: "rec", Groups: [][]string{{"a", "b"}, {"c", "d"}}, Complete: true},
+		Legality: &core.LegalitySummary{Verdict: "split-safe"},
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		var lat uint64
+		switch name {
+		case "a":
+			lat = 4000
+		case "b":
+			lat = 1000
+		case "c":
+			lat = 500
+		case "d":
+			lat = 100
+		}
+		sr.Fields = append(sr.Fields, core.FieldReport{Offset: offs[name], Name: name, LatencySum: lat})
+	}
+	return sr
+}
+
+func TestEnumerateDeterministicAndDeduped(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	cands, frozen, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen != "" {
+		t.Fatalf("unexpected freeze: %s", frozen)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates enumerated")
+	}
+	seen := map[string]string{}
+	baseKey := split.Key(prog.AoS(rec))
+	for _, c := range cands {
+		if c.Key != split.Key(c.Layout) {
+			t.Errorf("candidate %s: Key %q does not match its layout", c.Label, c.Key)
+		}
+		if c.Key == baseKey {
+			t.Errorf("candidate %s duplicates the baseline layout", c.Label)
+		}
+		if prev, dup := seen[c.Key]; dup {
+			t.Errorf("candidates %s and %s share layout %s", prev, c.Label, c.Layout)
+		}
+		seen[c.Key] = c.Label
+	}
+	// Determinism: a second enumeration returns the same labels in the
+	// same order.
+	again, _, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(cands) {
+		t.Fatalf("re-enumeration produced %d candidates, first run %d", len(again), len(cands))
+	}
+	for i := range cands {
+		if cands[i].Label != again[i].Label || cands[i].Key != again[i].Key {
+			t.Errorf("candidate %d differs across runs: %s/%s vs %s/%s",
+				i, cands[i].Label, cands[i].Key, again[i].Label, again[i].Key)
+		}
+	}
+}
+
+func TestEnumerateFrozen(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	sr.Legality = &core.LegalitySummary{Verdict: "frozen", Reason: "address escapes"}
+	cands, frozen, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("frozen structure enumerated %d candidates", len(cands))
+	}
+	if frozen != "address escapes" {
+		t.Fatalf("frozen reason = %q", frozen)
+	}
+}
+
+func TestEnumerateKeepTogetherMerges(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	sr.Legality = &core.LegalitySummary{
+		Verdict: "keep-together",
+		Pairs:   [][2]string{{"a", "d"}},
+	}
+	cands, _, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if c.Layout.Place("a").Arr != c.Layout.Place("d").Arr {
+			t.Errorf("candidate %s separates keep-together pair a/d: %s", c.Label, c.Layout)
+		}
+	}
+}
+
+func TestEnumerateRespectsCap(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	cands, _, err := Enumerate(rec, sr, EnumOptions{MaxCandidates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 2 {
+		t.Fatalf("cap 2 produced %d candidates", len(cands))
+	}
+}
+
+func TestEnumerateSkipsPositionalAdvice(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	// Unresolved debug info: advice names a positional "+24" field. The
+	// advice candidate must be skipped; others still enumerate.
+	sr.Advice = &core.SplitAdvice{StructName: "rec", Groups: [][]string{{"a", "+24"}, {"b"}}}
+	cands, _, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Label == "advice" {
+			t.Fatalf("positional advice produced candidate %s", c.Layout)
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates without advice")
+	}
+}
+
+func TestEnumeratePadOnKeepApart(t *testing.T) {
+	rec := testRecord(t)
+	sr := testReport(rec)
+	sr.KeepApart = [][2]uint64{{0, 8}}
+	cands, _, err := Enumerate(rec, sr, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cands {
+		if strings.HasPrefix(c.Label, "pad-line") {
+			found = true
+			for _, st := range c.Layout.Structs {
+				if st.Size%DefaultLine != 0 {
+					t.Errorf("padded struct %s has stride %d, not a multiple of %d", st.Name, st.Size, DefaultLine)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("KeepApart pairs present but no padded candidate enumerated")
+	}
+}

@@ -290,6 +290,35 @@ func Reordered(rec *RecordSpec, order []string) (*PhysLayout, error) {
 	return l, nil
 }
 
+// Padded returns a copy of the layout whose struct strides are rounded
+// up to a multiple of line bytes — the anti-false-sharing transform:
+// element offsets are unchanged (so the layout stays legal whenever the
+// original was), but neighboring elements no longer share a cache line.
+// line <= 1, and strides already line-multiples, return the layout
+// unchanged.
+func (l *PhysLayout) Padded(line int) *PhysLayout {
+	if line <= 1 {
+		return l
+	}
+	changed := false
+	structs := make([]*StructType, len(l.Structs))
+	for i, st := range l.Structs {
+		size := alignUp(st.Size, line)
+		if size == st.Size {
+			structs[i] = st
+			continue
+		}
+		cp := *st
+		cp.Size = size
+		structs[i] = &cp
+		changed = true
+	}
+	if !changed {
+		return l
+	}
+	return &PhysLayout{Record: l.Record, Groups: l.Groups, Structs: structs, place: l.place}
+}
+
 // Place returns the placement of the named field. It panics on unknown
 // fields: layouts are total over their record by construction, so a miss
 // is a programming error in a kernel.

@@ -9,6 +9,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -17,8 +18,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/optimize"
 	"repro/internal/profile"
 	"repro/internal/stream"
+	"repro/internal/workloads"
 )
 
 // Config tunes the ingest server.
@@ -32,6 +35,16 @@ type Config struct {
 	// IngestDelay, when non-nil, runs before every batch ingest — a test
 	// hook to provoke backpressure deterministically.
 	IngestDelay func()
+	// Optimize, when non-nil, enables POST /v1/optimize: the server
+	// materializes the streamed profile, enumerates candidate layouts for
+	// this workload's record, and runs the measured A/B selection loop.
+	// Without it the endpoint answers 501.
+	Optimize workloads.Workload
+	// OptimizeScale is the problem scale candidates are measured at.
+	OptimizeScale workloads.Scale
+	// OptimizeParallel bounds the A/B loop's worker pool (0 = sequential;
+	// results are byte-identical at any value).
+	OptimizeParallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/samples", s.handleSamples)
 	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/advice/{object}", s.handleAdvice)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -282,6 +296,45 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	http.Error(w, fmt.Sprintf("no analyzed structure %q", name), http.StatusNotFound)
+}
+
+// handleOptimize closes the loop server-side: flush, materialize the
+// streamed profile, analyze it, and run the candidate enumerator + A/B
+// selection loop over the configured workload. The ranked groupings come
+// back as JSON (optimize.ResultJSON). ?mode=exact measures every
+// candidate on the exact machine instead of the statistical engine.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.conf.Optimize == nil {
+		http.Error(w, "optimize: server was started without an optimizable -workload", http.StatusNotImplemented)
+		return
+	}
+	s.Flush()
+	p, err := s.an.Snapshot()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("optimize: profile has no hot structs: %v", err), http.StatusConflict)
+		return
+	}
+	rep, err := core.Analyze(p, s.an.Program(), s.an.AnalysisOptions())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	opt := optimize.Options{
+		Scale:    s.conf.OptimizeScale,
+		Parallel: s.conf.OptimizeParallel,
+		Exact:    r.URL.Query().Get("mode") == "exact",
+		Analysis: s.an.AnalysisOptions(),
+	}
+	res, err := optimize.RunWithReport(s.conf.Optimize, s.an.Program(), rep, opt)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, optimize.ErrNoHotStruct) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, res.JSON())
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

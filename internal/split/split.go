@@ -7,10 +7,33 @@ package split
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/prog"
 )
+
+// Key returns a canonical structural identity for a layout: the field
+// partition with concrete intra-struct offsets plus each struct's padded
+// stride. Two layouts with equal keys lower every workload to the same
+// program, so the optimizer's enumerator uses the key for structural
+// deduplication (it distinguishes reorderings and stride paddings that
+// the group partition alone would conflate).
+func Key(l *prog.PhysLayout) string {
+	var b strings.Builder
+	b.WriteString(l.Record.Name)
+	for _, st := range l.Structs {
+		b.WriteByte('|')
+		for i, f := range st.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s@%d", f.Name, f.Offset)
+		}
+		fmt.Fprintf(&b, "/%d", st.Size)
+	}
+	return b.String()
+}
 
 // LayoutFromGroups builds the split layout for a record from field-name
 // groups. Fields of the record not mentioned in any group are appended as

@@ -1,0 +1,40 @@
+package repro_test
+
+// BenchmarkOptimizeSweep times the full candidate-enumeration + A/B
+// selection loop over the seven paper workloads and reports the
+// geometric-mean exact-confirmed speedup of the selected layouts — the
+// optimizer's headline number, gated by `make optimize-gate`. The
+// simulation is deterministic, so geomean-speedup is machine-neutral
+// and run-to-run stable; only the wall time varies.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/optimize"
+	"repro/internal/workloads"
+)
+
+func BenchmarkOptimizeSweep(b *testing.B) {
+	paper := workloads.Paper()
+	var speedups []float64
+	for i := 0; i < b.N; i++ {
+		speedups = speedups[:0]
+		for _, w := range paper {
+			res, err := optimize.Run(w, optimizeOptions())
+			if err != nil {
+				b.Fatalf("%s: %v", w.Name(), err)
+			}
+			if res.ConfirmedSpeedup <= 0 {
+				b.Fatalf("%s: no confirmed speedup", w.Name())
+			}
+			speedups = append(speedups, res.ConfirmedSpeedup)
+		}
+	}
+	logSum := 0.0
+	for _, s := range speedups {
+		logSum += math.Log(s)
+	}
+	b.ReportMetric(math.Exp(logSum/float64(len(speedups))), "geomean-speedup")
+	b.ReportMetric(float64(len(speedups)), "workloads")
+}

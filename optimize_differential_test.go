@@ -1,0 +1,222 @@
+package repro_test
+
+// Differential and acceptance gates for the layout optimizer
+// (internal/optimize): the ranked table must be byte-identical at any
+// worker count; the exact-confirmed decision must be identical between
+// the statistical and exact measurement modes; on every paper workload
+// the selected layout must measure no worse than the unsplit baseline
+// and no worse than the paper's one-shot advice on the exact machine,
+// with zero legality violations among the measured candidates; and the
+// planted-illegal fixture must come back frozen with the baseline
+// selected.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/optimize"
+	"repro/internal/workloads"
+	"repro/structslim"
+)
+
+func optimizeOptions() optimize.Options {
+	return optimize.Options{
+		Scale:        workloads.ScaleTest,
+		SamplePeriod: 2_000,
+		Seed:         1,
+		Parallel:     4,
+	}
+}
+
+// TestOptimizeWorkerCountDeterminism renders the full ranked table at
+// several worker counts; every byte must match.
+func TestOptimizeWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run A/B sweep")
+	}
+	for _, name := range []string{"art", "mislaid"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []byte
+			for _, workers := range []int{1, 3, 8} {
+				opt := optimizeOptions()
+				opt.Parallel = workers
+				res, err := optimize.Run(w, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				res.RenderText(&buf)
+				if want == nil {
+					want = buf.Bytes()
+					continue
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("ranked table differs at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						workers, want, workers, buf.Bytes())
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizePaperWorkloads is the acceptance gate: on each of the
+// seven paper benchmarks the statistical and exact modes must agree on
+// the decision (same selected layout, byte-identical decision lines and
+// candidate sets), the selection must measure no worse than the unsplit
+// baseline and the one-shot advice on the exact machine, and every
+// measured candidate must respect the legality keep-together pairs.
+func TestOptimizePaperWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full A/B sweep over the paper benchmarks")
+	}
+	for _, w := range workloads.Paper() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			stat, err := optimize.Run(w, optimizeOptions())
+			if err != nil {
+				t.Fatalf("statistical run: %v", err)
+			}
+			exOpt := optimizeOptions()
+			exOpt.Exact = true
+			exact, err := optimize.Run(w, exOpt)
+			if err != nil {
+				t.Fatalf("exact run: %v", err)
+			}
+
+			// Cross-mode: same candidates enumerated, same decision.
+			if got, want := candidateKeys(stat), candidateKeys(exact); got != want {
+				t.Errorf("candidate sets differ across modes:\nstatistical: %s\nexact:       %s", got, want)
+			}
+			var sd, ed bytes.Buffer
+			stat.RenderDecision(&sd)
+			exact.RenderDecision(&ed)
+			if sd.String() != ed.String() {
+				t.Errorf("decision differs across measurement modes:\nstatistical: %sexact:       %s",
+					sd.String(), ed.String())
+			}
+
+			// Acceptance: never worse than the baseline or the advice.
+			for mode, r := range map[string]*optimize.Result{"statistical": stat, "exact": exact} {
+				if r.ExactSelected == 0 || r.ExactBaseline == 0 {
+					t.Fatalf("%s: missing exact confirmation (selected=%d baseline=%d)",
+						mode, r.ExactSelected, r.ExactBaseline)
+				}
+				if r.ExactSelected > r.ExactBaseline {
+					t.Errorf("%s: selected layout %s is slower than the baseline: %d > %d cycles",
+						mode, r.Selected.Layout, r.ExactSelected, r.ExactBaseline)
+				}
+				if r.ExactAdvice > 0 && r.ExactSelected > r.ExactAdvice {
+					t.Errorf("%s: selected layout %s is slower than the advice: %d > %d cycles",
+						mode, r.Selected.Layout, r.ExactSelected, r.ExactAdvice)
+				}
+			}
+
+			// Zero legality violations: every measured candidate keeps the
+			// keep-together pairs co-located.
+			pairs, err := optimizePairs(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range stat.Ranked {
+				for _, pair := range pairs {
+					if m.Layout.Place(pair[0]).Arr != m.Layout.Place(pair[1]).Arr {
+						t.Errorf("candidate %s separates keep-together pair %s/%s: %s",
+							m.Label, pair[0], pair[1], m.Layout)
+					}
+				}
+			}
+		})
+	}
+}
+
+// optimizePairs reruns the profiling pass to recover the hot record's
+// legality keep-together pairs for the co-location check.
+func optimizePairs(w workloads.Workload) ([][2]string, error) {
+	p, phases, err := w.Build(nil, workloads.ScaleTest)
+	if err != nil {
+		return nil, err
+	}
+	_, rep, err := structslim.ProfileAndAnalyze(p, phases, legalityOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := structslim.AttachLegality(rep, p); err != nil {
+		return nil, err
+	}
+	sr := structslim.FindStruct(rep, w.Record().Name)
+	if sr == nil || sr.Legality == nil {
+		return nil, nil
+	}
+	return sr.Legality.Pairs, nil
+}
+
+func candidateKeys(r *optimize.Result) string {
+	keys := make([]string, len(r.Ranked))
+	for i, m := range r.Ranked {
+		keys[i] = m.Key
+	}
+	// The per-mode ranking may order near-ties differently; compare as a
+	// set by sorting.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return strings.Join(keys, " ; ")
+}
+
+// TestOptimizeFrozenFixture feeds the optimizer the escape fixture —
+// a textbook splitting candidate whose field address escapes — and
+// requires it to refuse: frozen reason reported, only the baseline
+// measured, the original layout selected.
+func TestOptimizeFrozenFixture(t *testing.T) {
+	w, err := workloads.Get("escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimize.Run(w, optimizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrozenReason == "" {
+		t.Error("escape fixture was not frozen")
+	}
+	if len(res.Ranked) != 1 {
+		t.Errorf("frozen record still enumerated %d candidates", len(res.Ranked)-1)
+	}
+	if res.Selected.Label != "baseline" || res.Selected.Layout.IsSplit() {
+		t.Errorf("frozen record selected a split layout: %s (%s)", res.Selected.Layout, res.Selected.Label)
+	}
+	if res.ConfirmedSpeedup != 1.0 {
+		t.Errorf("frozen record reports speedup %.3f, want 1.0", res.ConfirmedSpeedup)
+	}
+}
+
+// TestOptimizeBeatsAdviceOnMislaid pins the reason the A/B loop exists:
+// on the mislaid fixture the paper's first-choice advice is legal but
+// suboptimal, and the measured selection must strictly beat it.
+func TestOptimizeBeatsAdviceOnMislaid(t *testing.T) {
+	w, err := workloads.Get("mislaid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimize.Run(w, optimizeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactAdvice == 0 {
+		t.Fatal("no advice candidate was enumerated")
+	}
+	if res.ExactSelected >= res.ExactAdvice {
+		t.Errorf("selection %s (%d cycles) does not beat the advice (%d cycles)",
+			res.Selected.Layout, res.ExactSelected, res.ExactAdvice)
+	}
+	if res.Selected.Label == "advice" {
+		t.Errorf("fixture is miscalibrated: the advice itself was selected")
+	}
+}
